@@ -1,0 +1,84 @@
+"""Shared sweep machinery for Figures 7, 9 and 10.
+
+Each figure sweeps granularity x partitioner x (parallelization level,
+kernel) on wiki-talk at a fixed window count and reports *speedup over the
+measured streaming baseline*, where the postmortem side is the calibrated
+simulated 48-core machine replaying the real measured per-window work
+(DESIGN.md §2's substitution for the paper's TBB runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from benchmarks._common import (
+    PAPER_CORES,
+    cost_model,
+    emit,
+    get_events,
+    postmortem_stats,
+    spec_with_n_windows,
+    streaming_seconds,
+)
+from repro.parallel import AUTO, SIMPLE, STATIC, MachineSpec
+from repro.parallel.levels import estimate_makespan
+from repro.reporting import format_series
+
+GRANULARITIES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+PARTITIONERS = [AUTO, SIMPLE, STATIC]
+CURVES = [
+    ("Nested(SpMM)", "nested", "spmm"),
+    ("Nested(SpMV)", "nested", "spmv"),
+    ("PR Level(SpMM)", "application", "spmm"),
+    ("PR Level(SpMV)", "application", "spmv"),
+    ("Window Level(SpMM)", "window", "spmm"),
+    ("Window Level(SpMV)", "window", "spmv"),
+]
+VECTOR_LENGTH = 16
+
+
+def run_sweep(figure: str, delta_days: float, n_windows: int,
+              n_multiwindows: int = 6):
+    """Run one figure's full sweep; returns (rendered text, raw curves)."""
+    import dataclasses
+
+    events = get_events("wiki-talk")
+    spec = spec_with_n_windows(events, delta_days, n_windows)
+    stats = postmortem_stats("wiki-talk", spec, n_multiwindows)
+    # Figures 7-10 sweep *kernel execution* parameters; the one-time
+    # representation build is excluded (it would otherwise flatten the
+    # few-window sweeps into a constant). Figures 5/11/12 include it.
+    stats = dataclasses.replace(stats, build_seconds=0.0)
+    t_stream = streaming_seconds("wiki-talk", spec)
+    model = cost_model()
+    machine = MachineSpec(PAPER_CORES)
+
+    blocks: List[str] = []
+    all_curves: Dict[str, Dict[str, List[float]]] = {}
+    for part in PARTITIONERS:
+        series: Dict[str, List[float]] = {}
+        for label, level, kernel in CURVES:
+            ys = []
+            for g in GRANULARITIES:
+                t_pm = estimate_makespan(
+                    stats, machine, model, level, part, g, kernel,
+                    VECTOR_LENGTH,
+                )
+                ys.append(t_stream / t_pm)
+            series[label] = ys
+        all_curves[part.name] = series
+        blocks.append(
+            format_series(
+                "granularity",
+                GRANULARITIES,
+                series,
+                title=(
+                    f"{figure} — TBB::{part.name}_partitioner  "
+                    f"(wiki-talk, delta={delta_days:.0f}d, "
+                    f"windows={spec.n_windows}, speedup over streaming, "
+                    f"simulated {PAPER_CORES} cores)"
+                ),
+                precision=1,
+            )
+        )
+    return "\n\n".join(blocks), all_curves, spec

@@ -1,0 +1,78 @@
+"""Ablation — the memory/work tradeoff of the multi-window count Y.
+
+Section 4.1: more multi-window graphs shrink the per-SpMV traversal
+(Θ(|E_w|) instead of Θ(|Events|)) but replicate boundary-spanning events
+(Σ_w |E_w| >= |Events|) and inflate the representation memory.  Section
+6.3.3 says Y should be "large enough" and then stops mattering; this
+ablation quantifies both axes at once: memory (paper formula + allocated
+bytes) and measured serial solve time, per Y.
+
+Run:  pytest benchmarks/bench_ablation_memory.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import BENCH_CONFIG, emit, get_events, spec_for
+from repro.analysis import memory_report
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.reporting import format_table
+from repro.utils.timer import Timer
+
+MULTIWINDOW_COUNTS = [1, 2, 6, 16, 48, 120]
+
+
+def run_ablation():
+    events = get_events("wiki-talk")
+    spec = spec_for(events, 90.0, 43_200)
+    rows = []
+    times = []
+    memories = []
+    for y in MULTIWINDOW_COUNTS:
+        opts = PostmortemOptions(n_multiwindows=y)
+        driver = PostmortemDriver(events, spec, BENCH_CONFIG, opts)
+        with Timer() as t:
+            driver.run(store_values=False)
+        report = memory_report(driver.partition)
+        times.append(t.elapsed)
+        memories.append(report.total_allocated_bytes)
+        rows.append(
+            [
+                y,
+                round(report.replication_factor, 2),
+                f"{report.total_model_bytes / 1024:.0f} KiB",
+                f"{report.total_allocated_bytes / 1024:.0f} KiB",
+                round(report.overhead_vs_raw, 2),
+                f"{report.pagerank_workspace_bytes(16) / 1024:.0f} KiB",
+                round(t.elapsed, 3),
+            ]
+        )
+    text = format_table(
+        [
+            "Y",
+            "replication",
+            "model bytes (paper formula)",
+            "allocated",
+            "vs raw log",
+            "SpMM-16 workspace",
+            "serial solve (s)",
+        ],
+        rows,
+        title=(
+            "Ablation: multi-window count vs memory and work "
+            f"(wiki-talk, {spec.n_windows} windows)"
+        ),
+    )
+    return text, times, memories
+
+
+def test_ablation_memory(benchmark):
+    text, times, memories = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    emit("ablation_memory", text)
+
+    y = MULTIWINDOW_COUNTS
+    # work: Y=6 beats Y=1 clearly (the Θ(|Events|)-per-SpMV pathology)
+    assert times[y.index(6)] < times[y.index(1)]
+    # memory: replication grows with Y
+    assert memories[-1] >= memories[0]

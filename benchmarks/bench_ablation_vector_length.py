@@ -1,0 +1,107 @@
+"""Ablation — SpMM vector length vs partial initialization.
+
+Section 4.4: "Choosing a high number of vector in SpMM will reduce benefit
+of the partial initialization because all the initial Pagerank vectors
+will do full initialization" (the region heads of the first batch).  This
+ablation sweeps the vector length and reports:
+
+* the number of cold-started windows (region heads),
+* total iterations executed (partial-init quality),
+* measured serial time,
+* the simulated 48-core makespan (structure-sharing benefit).
+
+Expected tradeoff: larger k shares the structure traversal across more
+windows (simulated makespan falls) but cold-starts more windows (iteration
+count rises) — the reason the paper settles on k = 8 or 16.
+
+Run:  pytest benchmarks/bench_ablation_vector_length.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import (
+    BENCH_CONFIG,
+    PAPER_CORES,
+    cost_model,
+    emit,
+    get_events,
+    postmortem_stats,
+    spec_for,
+)
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.parallel import AUTO, MachineSpec
+from repro.parallel.levels import estimate_makespan
+from repro.reporting import format_table
+from repro.utils.timer import Timer
+
+VECTOR_LENGTHS = [1, 2, 4, 8, 16, 32]
+Y = 6
+
+
+def run_ablation():
+    events = get_events("wiki-talk")
+    spec = spec_for(events, 90.0, 43_200)
+    stats = postmortem_stats("wiki-talk", spec, Y)
+    model = cost_model()
+    machine = MachineSpec(PAPER_CORES)
+
+    rows = []
+    sim_times = []
+    iter_counts = []
+    for k in VECTOR_LENGTHS:
+        kernel = "spmv" if k == 1 else "spmm"
+        opts = PostmortemOptions(
+            n_multiwindows=Y, kernel=kernel, vector_length=k
+        )
+        driver = PostmortemDriver(events, spec, BENCH_CONFIG, opts)
+        with Timer() as t:
+            run = driver.run(store_values=False)
+        cold = sum(
+            1
+            for task in run.metadata["task_log"]
+            for w, used in [(task.windows, task.used_partial_init)]
+            if not used
+            for _ in w
+        )
+        t_sim = estimate_makespan(
+            stats, machine, model, "nested", AUTO, 4, kernel, k
+        )
+        sim_times.append(t_sim)
+        iter_counts.append(run.total_iterations)
+        rows.append(
+            [
+                k,
+                cold,
+                run.total_iterations,
+                round(t.elapsed, 3),
+                round(t_sim * 1_000, 2),
+            ]
+        )
+    text = format_table(
+        [
+            "vector length",
+            "cold-start windows",
+            "total iterations",
+            "serial time (s)",
+            "simulated 48-core (ms)",
+        ],
+        rows,
+        title=(
+            "Ablation: SpMM vector length vs partial initialization "
+            f"(wiki-talk, {spec.n_windows} windows, Y={Y})"
+        ),
+    )
+    return text, sim_times, iter_counts
+
+
+def test_ablation_vector_length(benchmark):
+    text, sim_times, iters = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    emit("ablation_vector_length", text)
+
+    k = VECTOR_LENGTHS
+    # structure sharing: simulated makespan improves from k=1 to k=8
+    assert sim_times[k.index(8)] < sim_times[k.index(1)]
+    # partial-init erosion: more total iterations at k=32 than k=2
+    assert iters[k.index(32)] >= iters[k.index(2)]

@@ -1,0 +1,118 @@
+"""Extension — the three execution models on a *different* kernel (k-core).
+
+The paper's Section 3.1 claims the sliding-window methodology generalizes
+beyond PageRank ("other kernels like ... k-core").  This bench runs the
+max-core (degeneracy) analysis per window under offline, streaming and
+postmortem execution on two datasets and checks the representational
+advantages carry over: the postmortem model avoids both the per-window
+rebuild (offline) and the structure-maintenance + snapshot costs
+(streaming).
+
+Run:  pytest benchmarks/bench_extension_kcore.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit, get_events, spec_for
+from repro.kernels import max_core
+from repro.models.kernel_models import (
+    offline_kernel_run,
+    postmortem_kernel_run,
+    streaming_kernel_run,
+)
+from repro.reporting import format_table
+
+CONFIGS = [
+    ("wiki-talk", 90.0, 259_200),
+    ("youtube-growth", 60.0, 86_400),
+]
+
+
+def graph_max_core(graph, active):
+    """Degeneracy from a materialized (graph, active) pair."""
+    import numpy as np
+
+    from repro.graph.csr import build_csr_from_edges
+
+    src, dst = graph.edges()
+    keep = src != dst
+    und = build_csr_from_edges(
+        np.concatenate([src[keep], dst[keep]]),
+        np.concatenate([dst[keep], src[keep]]),
+        graph.n_vertices,
+        dedup=True,
+    )
+    deg = und.out_degrees().astype(np.int64)
+    alive = deg > 0
+    k = 0
+    while alive.any():
+        k = max(k, int(deg[alive].min()))
+        while True:
+            shell = alive & (deg <= k)
+            if not shell.any():
+                break
+            alive[shell] = False
+            idx = np.flatnonzero(shell)
+            starts, ends = und.indptr[idx], und.indptr[idx + 1]
+            lens = ends - starts
+            if lens.sum():
+                offsets = np.repeat(
+                    starts - np.concatenate([[0], np.cumsum(lens)[:-1]]),
+                    lens,
+                )
+                nbrs = und.col[np.arange(int(lens.sum())) + offsets]
+                dec = np.bincount(
+                    nbrs[alive[nbrs]], minlength=graph.n_vertices
+                )
+                deg -= dec
+    return k
+
+
+def run_extension():
+    rows = []
+    ratios = []
+    for name, ws, sw in CONFIGS:
+        events = get_events(name)
+        spec = spec_for(events, ws, sw)
+        off = offline_kernel_run(events, spec, graph_max_core)
+        stream = streaming_kernel_run(events, spec, graph_max_core)
+        pm = postmortem_kernel_run(
+            events, spec, graph_max_core, 6, view_kernel=max_core
+        )
+        assert off.values == stream.values == pm.values
+        ratios.append(stream.total_time / pm.total_time)
+        rows.append(
+            [
+                name,
+                spec.n_windows,
+                max(off.values),
+                round(off.total_time, 3),
+                round(stream.total_time, 3),
+                round(pm.total_time, 3),
+                round(stream.total_time / pm.total_time, 2),
+            ]
+        )
+    text = format_table(
+        [
+            "dataset",
+            "#win",
+            "max degeneracy",
+            "offline(s)",
+            "streaming(s)",
+            "postmortem(s)",
+            "pm/stream",
+        ],
+        rows,
+        title=(
+            "Extension: k-core degeneracy per window under the three "
+            "execution models (identical results asserted)"
+        ),
+    )
+    return text, ratios
+
+
+def test_extension_kcore(benchmark):
+    text, ratios = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    emit("extension_kcore", text)
+    # the postmortem representation advantage carries over to k-core
+    assert all(r > 1.0 for r in ratios)

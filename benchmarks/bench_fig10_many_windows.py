@@ -1,0 +1,35 @@
+"""Figure 10 — the same sweep with 1024 windows (90-day windows).
+
+With many balanced windows, window-level parallelization performs well
+("good performance for window-level parallelization because of large
+number of windows") and keeps up with nested until granularity starves it.
+
+Run:  pytest benchmarks/bench_fig10_many_windows.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from benchmarks._sweep import GRANULARITIES, run_sweep
+
+
+def test_fig10_sweep(benchmark):
+    text, curves, spec = benchmark.pedantic(
+        run_sweep,
+        args=("Figure 10", 90.0, 1024),
+        kwargs={"n_multiwindows": 6},
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig10_many_windows", text)
+    assert spec.n_windows == 1024
+
+    auto = curves["auto"]
+    g = GRANULARITIES
+    # with 1024 windows, window-level at small granularity is competitive
+    # with nested (within 2x), unlike the 6-window case
+    wl = auto["Window Level(SpMM)"][g.index(4)]
+    nested = auto["Nested(SpMM)"][g.index(4)]
+    assert wl > nested * 0.5
+    # and window-level still collapses when chunks < workers
+    assert auto["Window Level(SpMM)"][g.index(1024)] < wl * 0.6

@@ -1,0 +1,88 @@
+"""Figure 12 — suggested-parameter performance on wiki-talk.
+
+The paper's closing recommendation (Section 6.3.6): SpMM kernel, auto
+partitioner with granularity <= 4, nested parallelization.  This bench
+evaluates exactly that fixed configuration over the wiki-talk (sliding
+offset x window size) grid and compares each cell against the Figure 11
+best-of-search value: "the configuration does not report the best
+performance but reports very honorable performance at little tuning cost".
+
+Run:  pytest benchmarks/bench_fig12_suggested.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import (
+    PAPER_CORES,
+    cost_model,
+    emit,
+    get_events,
+    postmortem_stats,
+    spec_for,
+    streaming_seconds,
+)
+from benchmarks.bench_fig11_best_speedup import best_postmortem_seconds
+from repro.datasets import get_profile
+from repro.parallel import AUTO, MachineSpec
+from repro.parallel.levels import estimate_makespan
+from repro.reporting import format_heatmap
+
+SUGGESTED = dict(level="nested", partitioner=AUTO, granularity=4,
+                 kernel="spmm", vector_length=16)
+WINDOW_SIZES = [10.0, 15.0, 90.0, 180.0]
+
+
+def run_fig12():
+    profile = get_profile("wiki-talk")
+    events = get_events("wiki-talk")
+    sws = list(profile.sliding_offsets)
+    model = cost_model()
+    machine = MachineSpec(PAPER_CORES)
+
+    grid = np.zeros((len(WINDOW_SIZES), len(sws)))
+    ratio_to_best = np.zeros_like(grid)
+    for i, ws in enumerate(WINDOW_SIZES):
+        for j, sw in enumerate(sws):
+            spec = spec_for(events, ws, sw)
+            t_stream = streaming_seconds("wiki-talk", spec)
+            stats = postmortem_stats("wiki-talk", spec, 6)
+            t_suggested = estimate_makespan(
+                stats,
+                machine,
+                model,
+                SUGGESTED["level"],
+                SUGGESTED["partitioner"],
+                SUGGESTED["granularity"],
+                SUGGESTED["kernel"],
+                SUGGESTED["vector_length"],
+            )
+            grid[i, j] = t_stream / t_suggested
+            ratio_to_best[i, j] = t_suggested / best_postmortem_seconds(
+                "wiki-talk", spec
+            )
+    text = format_heatmap(
+        grid,
+        [f"{w:.0f}" for w in WINDOW_SIZES],
+        [str(s) for s in sws],
+        row_title="window(d)",
+        col_title="offset(s)",
+        title=(
+            "Figure 12: postmortem speedup over streaming with the "
+            "suggested parameters (nested, auto, granularity 4, SpMM-16; "
+            f"simulated {PAPER_CORES} cores)"
+        ),
+    )
+    return text, grid, ratio_to_best
+
+
+def test_fig12_suggested(benchmark):
+    text, grid, ratio = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    emit("fig12_suggested", text)
+
+    # honorable everywhere: still a big win over streaming ...
+    assert grid.min() > 5.0
+    # ... and within a small factor of the per-cell best configuration
+    assert np.median(ratio) < 3.0
+    assert ratio.max() < 8.0

@@ -1,0 +1,77 @@
+"""Figure 4 — temporal edge distribution per dataset.
+
+For each profile, prints the binned event counts over time plus the shape
+summary (peak/mean, gini, trend) and the shape class that the paper's
+narrative assigns: Enron = spike, Epinions = burst, HepTh = irregular,
+YouTube = bursty-steady, wiki-talk/stackoverflow/askubuntu = growth.
+
+Run:  pytest benchmarks/bench_fig4_edge_distribution.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, get_events
+from repro.analysis import distribution_summary, edge_distribution
+from repro.datasets import PROFILES
+from repro.reporting import format_table
+
+EXPECTED_SHAPE = {
+    "ia-enron-email": ("spike",),
+    "epinions-user-ratings": ("spike", "bursty"),
+    "ca-cit-HepTh": ("bursty", "growth", "steady"),
+    "youtube-growth": ("steady", "bursty"),
+    "wiki-talk": ("growth",),
+    "stackoverflow": ("growth",),
+    "askubuntu": ("growth",),
+}
+
+
+def sparkline(counts: np.ndarray, width: int = 48) -> str:
+    blocks = " .:-=+*#%@"
+    idx = np.linspace(0, counts.size - 1, width).astype(int)
+    c = counts[idx].astype(float)
+    scale = c.max() or 1.0
+    return "".join(blocks[int(v / scale * (len(blocks) - 1))] for v in c)
+
+
+def render_fig4() -> str:
+    rows = []
+    for name in PROFILES:
+        events = get_events(name)
+        _, counts = edge_distribution(events, n_bins=120)
+        s = distribution_summary(events, n_bins=60)
+        rows.append(
+            [
+                name,
+                s.shape_class,
+                round(s.peak_to_mean, 1),
+                round(s.gini, 2),
+                round(s.trend, 2),
+                sparkline(counts),
+            ]
+        )
+    return format_table(
+        ["dataset", "class", "peak/mean", "gini", "trend", "edges over time"],
+        rows,
+        title="Figure 4: temporal edge distribution over the time period",
+    )
+
+
+def test_fig4_distributions(benchmark):
+    text = benchmark.pedantic(render_fig4, rounds=1, iterations=1)
+    emit("fig4_edge_distribution", text)
+
+
+def test_fig4_shapes_match_paper():
+    """Each synthetic profile must land in its paper-assigned shape class."""
+    for name, allowed in EXPECTED_SHAPE.items():
+        s = distribution_summary(get_events(name))
+        assert s.shape_class in allowed, (name, s)
+
+
+def test_edge_distribution_kernel_speed(benchmark):
+    events = get_events("stackoverflow")
+    starts, counts = benchmark(edge_distribution, events, 120)
+    assert counts.sum() == len(events)

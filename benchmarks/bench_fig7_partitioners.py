@@ -1,0 +1,47 @@
+"""Figure 7 — partitioner and granularity sweep, 256 windows.
+
+wiki-talk, 90-day windows, 256 windows (the paper's configuration), SpMM
+vector length 16.  Expected shapes (paper Section 6.3.2):
+
+* window-level parallelization collapses once granularity makes the chunk
+  count fall below the worker count ("performance drop after 128");
+* nested and PR-level lose ground at very large granularities;
+* the static partitioner is overall worse; auto and simple are comparable;
+* SpMM curves dominate their SpMV counterparts.
+
+Run:  pytest benchmarks/bench_fig7_partitioners.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from benchmarks._sweep import GRANULARITIES, run_sweep
+
+
+def test_fig7_sweep(benchmark):
+    text, curves, spec = benchmark.pedantic(
+        run_sweep, args=("Figure 7", 90.0, 256), rounds=1, iterations=1
+    )
+    emit("fig7_partitioners", text)
+
+    auto = curves["auto"]
+    g = GRANULARITIES
+
+    # SpMM >= SpMV at the recommended small granularities, for every level
+    for level in ("Nested", "PR Level", "Window Level"):
+        for i in range(4):  # g in {1, 2, 4, 8}
+            assert (
+                auto[f"{level}(SpMM)"][i] >= auto[f"{level}(SpMV)"][i] * 0.95
+            ), (level, g[i])
+
+    # window-level collapses at huge granularity (chunks < workers)
+    wl = auto["Window Level(SpMM)"]
+    assert wl[g.index(2048)] < wl[g.index(1)] * 0.5
+
+    # postmortem crushes streaming in its best configuration
+    best = max(max(s) for s in auto.values())
+    assert best > 20.0
+
+    # static partitioner's best is no better than auto's best
+    best_static = max(max(s) for s in curves["static"].values())
+    assert best_static <= best * 1.1

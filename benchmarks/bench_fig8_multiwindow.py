@@ -1,0 +1,90 @@
+"""Figure 8 — impact of the number of multi-window graphs.
+
+wiki-talk with ~1024 windows, auto_partitioner, sweeping the multi-window
+count Y across {6, 32, 256, 512, 1024} for each parallelization level.
+
+Expected shape (paper Section 6.3.3): too few multi-windows means every
+SpMV traverses events belonging to many other windows (high overhead);
+"once the number of multi-window is large enough, the performance no
+longer varies".
+
+Run:  pytest benchmarks/bench_fig8_multiwindow.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from benchmarks._common import (
+    PAPER_CORES,
+    cost_model,
+    emit,
+    get_events,
+    postmortem_stats,
+    spec_with_n_windows,
+    streaming_seconds,
+)
+from repro.parallel import AUTO, MachineSpec
+from repro.parallel.levels import estimate_makespan
+from repro.reporting import format_series
+
+MULTIWINDOWS = [6, 32, 256, 512, 1024]
+GRANULARITIES = [1, 4, 16, 64, 256]
+N_WINDOWS = 1024
+DELTA_DAYS = 90.0
+
+
+def run_fig8():
+    events = get_events("wiki-talk")
+    spec = spec_with_n_windows(events, DELTA_DAYS, N_WINDOWS)
+    t_stream = streaming_seconds("wiki-talk", spec)
+    model = cost_model()
+    machine = MachineSpec(PAPER_CORES)
+
+    blocks = []
+    by_level = {}
+    for level, label in (
+        ("application", "PR Level Parallelization"),
+        ("window", "Window Level Parallelization"),
+        ("nested", "Nested Parallelization"),
+    ):
+        series = {}
+        for y in MULTIWINDOWS:
+            stats = postmortem_stats("wiki-talk", spec, n_multiwindows=y)
+            stats = dataclasses.replace(stats, build_seconds=0.0)
+            ys = []
+            for g in GRANULARITIES:
+                t = estimate_makespan(
+                    stats, machine, model, level, AUTO, g, "spmv"
+                )
+                ys.append(t_stream / t)
+            series[f"Multi-Windows={y}"] = ys
+        by_level[level] = series
+        blocks.append(
+            format_series(
+                "granularity",
+                GRANULARITIES,
+                series,
+                title=(
+                    f"Figure 8 — {label} (wiki-talk, {spec.n_windows} "
+                    f"windows, auto_partitioner, speedup over streaming, "
+                    f"simulated {PAPER_CORES} cores)"
+                ),
+                precision=1,
+            )
+        )
+    return "\n\n".join(blocks), by_level
+
+
+def test_fig8_multiwindow(benchmark):
+    text, by_level = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    emit("fig8_multiwindow", text)
+
+    for level, series in by_level.items():
+        small = series[f"Multi-Windows={MULTIWINDOWS[0]}"]
+        big = series[f"Multi-Windows={MULTIWINDOWS[-2]}"]
+        bigger = series[f"Multi-Windows={MULTIWINDOWS[-1]}"]
+        # more multi-windows helps (less out-of-window traversal) ...
+        assert max(big) > max(small), level
+        # ... and saturates: 512 vs 1024 differ by < 35%
+        assert abs(max(bigger) - max(big)) / max(big) < 0.35, level

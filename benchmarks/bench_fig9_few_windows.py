@@ -1,0 +1,41 @@
+"""Figure 9 — the same sweep with only 6 windows.
+
+With 6 windows and 48 simulated cores, window-level parallelization is
+starved ("the number of windows is only 6 ... which stifles the
+performance of window-level parallelism") while PR-level and nested keep
+scaling — the paper's case for application-level parallelism on few-window
+instances.
+
+Substitution note: the paper uses 10-day windows here; at our ~1/700 event
+scale a 10-day window holds almost no events, so this sweep keeps the
+6-window count (the variable that drives the figure's effect) with 90-day
+windows to preserve non-degenerate per-window work.
+
+Run:  pytest benchmarks/bench_fig9_few_windows.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from benchmarks._sweep import GRANULARITIES, run_sweep
+
+
+def test_fig9_sweep(benchmark):
+    text, curves, spec = benchmark.pedantic(
+        run_sweep,
+        args=("Figure 9", 90.0, 6),
+        kwargs={"n_multiwindows": 6},
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig9_few_windows", text)
+    assert spec.n_windows == 6
+
+    auto = curves["auto"]
+    # window-level is capped at 6-way parallelism: nested/PR-level must
+    # beat it at small granularities
+    for i in range(3):
+        assert auto["Nested(SpMM)"][i] > auto["Window Level(SpMM)"][i]
+    # window-level flat-lines once every chunk holds >= all 6 windows
+    wl = auto["Window Level(SpMV)"]
+    assert abs(wl[GRANULARITIES.index(8)] - wl[-1]) < 1e-6

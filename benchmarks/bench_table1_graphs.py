@@ -1,0 +1,65 @@
+"""Table 1 — graphs and parameters.
+
+Regenerates the dataset/parameter inventory: for each of the 7 profiles,
+the synthetic instance size, its paper-scale original, the scale factor,
+and the (sliding offset, window size) grids the evaluation sweeps.
+
+Run:  pytest benchmarks/bench_table1_graphs.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import BENCH_SCALE, emit, get_events
+from repro.datasets import PROFILES, get_profile
+from repro.reporting import format_table
+
+
+def render_table1() -> str:
+    rows = []
+    for name, profile in PROFILES.items():
+        events = get_events(name)
+        sw = ", ".join(
+            f"{s // 3600}h" if s < 86_400 else f"{s // 86_400}d"
+            for s in profile.sliding_offsets
+        )
+        ws = ", ".join(f"{int(w)}d" for w in profile.window_sizes_days)
+        rows.append(
+            [
+                name,
+                f"{profile.paper_events:,}",
+                f"{len(events):,}",
+                f"{profile.scale_factor / BENCH_SCALE:,.0f}x",
+                events.n_vertices,
+                f"{events.span // 86_400}d",
+                sw,
+                ws,
+            ]
+        )
+    return format_table(
+        [
+            "Name",
+            "Events (paper)",
+            "Events (here)",
+            "scale",
+            "|V|",
+            "span",
+            "Sliding Offset",
+            "Window Size",
+        ],
+        rows,
+        title="Table 1: Graphs and Parameters (synthetic, scaled)",
+    )
+
+
+def test_table1_inventory(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    emit("table1_graphs", text)
+    assert text.count("\n") >= 9  # 7 datasets + header
+
+
+def test_dataset_generation_speed(benchmark):
+    """How long one profile takes to generate (the offline model would pay
+    per-window slices of this stream)."""
+    profile = get_profile("wiki-talk")
+    events = benchmark(lambda: profile.generate(scale=BENCH_SCALE))
+    assert len(events) > 0

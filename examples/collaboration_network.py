@@ -1,0 +1,124 @@
+"""Academic collaboration analysis at two time scales (paper Section 3.1).
+
+The paper motivates the sliding-window parameters with co-authorship
+networks: a 10-year window ranks authors within a scientific *era*; a
+1-year window tracks *current* collaborator dynamics.  This example builds
+a synthetic co-authorship event stream with a generational shift (an "old
+guard" dominating early years, a "new wave" taking over later) and shows
+how the window size changes who looks important.
+
+Run:  python examples/collaboration_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    PagerankConfig,
+    PostmortemDriver,
+    PostmortemOptions,
+    TemporalEventSet,
+    WindowSpec,
+)
+from repro.reporting import format_table
+
+YEAR = 365 * 86_400
+
+
+def build_coauthorship(seed: int = 11) -> TemporalEventSet:
+    """20 years of papers; authors 0-49 dominate the first decade,
+    authors 50-99 the second, with a connecting middle generation."""
+    rng = np.random.default_rng(seed)
+    src, dst, t = [], [], []
+    n_papers = 6_000
+    for _ in range(n_papers):
+        when = rng.uniform(0, 20 * YEAR)
+        era = when / (20 * YEAR)
+        # sample an author cohort that drifts with time
+        center = int(era * 80)
+        authors = np.unique(
+            np.clip(rng.normal(center, 12, rng.integers(2, 5)), 0, 99).astype(
+                int
+            )
+        )
+        if authors.size < 2:
+            continue
+        # a paper contributes a co-authorship clique
+        for i in range(authors.size):
+            for j in range(i + 1, authors.size):
+                src.append(authors[i])
+                dst.append(authors[j])
+                t.append(int(when))
+    events = TemporalEventSet(src, dst, t, n_vertices=100)
+    return events.symmetrized()  # collaboration is undirected
+
+
+def top_authors(run, window_index: int, k: int = 5):
+    return [v for v, _ in run.window(window_index).top_vertices(k)]
+
+
+def main() -> None:
+    events = build_coauthorship()
+    print(f"co-authorship events: {len(events)} over 20 years\n")
+    config = PagerankConfig(tolerance=1e-10)
+
+    # era-scale analysis: 10-year windows sliding by 2 years
+    era_spec = WindowSpec.covering(events, delta=10 * YEAR, sw=2 * YEAR)
+    era = PostmortemDriver(
+        events, era_spec, config, PostmortemOptions(n_multiwindows=2)
+    ).run()
+
+    # dynamics-scale analysis: 1-year windows sliding by 1 year
+    year_spec = WindowSpec.covering(events, delta=YEAR, sw=YEAR)
+    yearly = PostmortemDriver(
+        events, year_spec, config, PostmortemOptions(n_multiwindows=4)
+    ).run()
+
+    rows = []
+    for w in era.windows:
+        start_year = (era_spec.window(w.window_index).t_start - events.t_min) / YEAR
+        rows.append(
+            [
+                f"{start_year:.0f}-{start_year + 10:.0f}",
+                w.n_active_vertices,
+                ", ".join(str(v) for v in top_authors(era, w.window_index)),
+            ]
+        )
+    print(
+        format_table(
+            ["era (years)", "authors", "top-5 authors"],
+            rows,
+            title="Era-scale importance (delta = 10 years)",
+        )
+    )
+
+    rows = []
+    for w in yearly.windows[::4]:
+        y = (year_spec.window(w.window_index).t_start - events.t_min) / YEAR
+        rows.append(
+            [
+                f"year {y:.0f}",
+                w.n_active_vertices,
+                ", ".join(str(v) for v in top_authors(yearly, w.window_index)),
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["window", "authors", "top-5 authors"],
+            rows,
+            title="Collaborator dynamics (delta = 1 year)",
+        )
+    )
+
+    early = set(top_authors(era, 0, 10))
+    late = set(top_authors(era, era.n_windows - 1, 10))
+    print(
+        f"\ngenerational shift: top-10 overlap between first and last era = "
+        f"{len(early & late)}/10"
+    )
+
+
+if __name__ == "__main__":
+    main()

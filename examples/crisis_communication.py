@@ -1,0 +1,104 @@
+"""Organizational-crisis communication analysis (paper Section 3.2).
+
+Hossain, Murshed et al. (cited by the paper) showed that during an
+organizational crisis, previously prominent actors become *central* in the
+communication graph.  This example replays that analysis on the synthetic
+Enron-like profile (Figure 4a's spike shape): it computes PageRank over
+sliding windows, detects the crisis period from the edge distribution, and
+reports how actor centrality concentrates during the spike.
+
+Run:  python examples/crisis_communication.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PagerankConfig, PostmortemDriver, PostmortemOptions, WindowSpec
+from repro.analysis import edge_distribution
+from repro.datasets import get_profile
+from repro.reporting import format_series, format_table
+
+DAY = 86_400
+
+
+def gini(values: np.ndarray) -> float:
+    v = np.sort(values[values > 0])
+    if v.size == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def main() -> None:
+    events = get_profile("ia-enron-email").generate(scale=0.4)
+    print(f"synthetic Enron-like corpus: {events}\n")
+
+    # the edge distribution locates the crisis spike
+    starts, counts = edge_distribution(events, n_bins=24)
+    spike_bin = int(np.argmax(counts))
+    print(
+        format_series(
+            "period",
+            [f"{(s - events.t_min) // (30 * DAY)}mo" for s in starts[::3]],
+            {"emails": counts[::3].tolist()},
+            title="Email volume over time (crisis = peak)",
+            precision=0,
+        )
+    )
+
+    # sliding-window PageRank across the whole history
+    spec = WindowSpec.covering(events, delta=365 * DAY, sw=90 * DAY)
+    run = PostmortemDriver(
+        events,
+        spec,
+        PagerankConfig(tolerance=1e-10),
+        PostmortemOptions(n_multiwindows=4),
+    ).run()
+
+    bin_width = (events.t_max - events.t_min) / 24
+    crisis_time = events.t_min + (spike_bin + 0.5) * bin_width
+
+    rows = []
+    for w in run.windows:
+        win = spec.window(w.window_index)
+        in_crisis = win.t_start <= crisis_time <= win.t_end
+        concentration = gini(w.values)
+        top = w.top_vertices(3)
+        rows.append(
+            [
+                w.window_index,
+                "CRISIS" if in_crisis else "",
+                w.n_active_vertices,
+                round(concentration, 3),
+                ", ".join(f"a{v}" for v, _ in top),
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["window", "phase", "actors", "rank gini", "top actors"],
+            rows,
+            title="Actor centrality per window",
+        )
+    )
+
+    crisis_rows = [r for r in rows if r[1] == "CRISIS"]
+    calm_rows = [r for r in rows if r[1] == ""]
+    if crisis_rows and calm_rows:
+        crisis_gini = np.mean([r[3] for r in crisis_rows])
+        calm_gini = np.mean([r[3] for r in calm_rows])
+        print(
+            f"\nmean rank concentration: crisis {crisis_gini:.3f} vs "
+            f"calm {calm_gini:.3f}"
+        )
+        print(
+            "-> centrality concentrates on few actors during the crisis"
+            if crisis_gini > calm_gini
+            else "-> no concentration effect in this draw"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Plugging your own analysis kernel into the postmortem machinery.
+
+The execution-model machinery (offline / streaming / postmortem) is not
+PageRank-specific: any per-window analysis can ride it.  This example
+defines a custom kernel — *reciprocity*, the fraction of window edges
+(u, v) whose reverse (v, u) is also active — in both signatures the
+runners accept, verifies the three models agree, and shows where each
+spends its time.
+
+A window-view kernel gets the masked temporal CSR (cheap, postmortem
+only); a graph kernel gets a materialized (CSRGraph, active_mask) pair and
+runs under all three models.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import WindowSpec
+from repro.datasets import get_profile
+from repro.models.kernel_models import (
+    offline_kernel_run,
+    postmortem_kernel_run,
+    streaming_kernel_run,
+)
+from repro.reporting import format_kv, format_series
+
+
+def reciprocity_graph(graph, active) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    src, dst = graph.edges()
+    if src.size == 0:
+        return 0.0
+    forward = set(zip(src.tolist(), dst.tolist()))
+    mutual = sum(1 for u, v in forward if (v, u) in forward)
+    return mutual / len(forward)
+
+
+def reciprocity_view(view) -> float:
+    """The same kernel, written against the window view (postmortem
+    native): reads the dedup mask directly, no graph materialization."""
+    out_csr = view.adjacency.out_csr
+    dedup = out_csr.dedup_mask(view.window.t_start, view.window.t_end)
+    src = out_csr.row_ids()[dedup]
+    dst = out_csr.col[dedup]
+    if src.size == 0:
+        return 0.0
+    forward = set(zip(src.tolist(), dst.tolist()))
+    mutual = sum(1 for u, v in forward if (v, u) in forward)
+    return mutual / len(forward)
+
+
+def main() -> None:
+    events = get_profile("wiki-talk").generate(scale=0.2)
+    spec = WindowSpec.covering_days(events, 90, 86_400 * 30)
+    print(f"instance: {len(events)} events, {spec.n_windows} windows\n")
+
+    off = offline_kernel_run(events, spec, reciprocity_graph)
+    stream = streaming_kernel_run(events, spec, reciprocity_graph)
+    pm = postmortem_kernel_run(
+        events, spec, reciprocity_graph, 6, view_kernel=reciprocity_view
+    )
+
+    assert np.allclose(off.values, stream.values)
+    assert np.allclose(off.values, pm.values)
+    print("all three models produce identical reciprocity series\n")
+
+    idx = list(range(0, spec.n_windows, max(1, spec.n_windows // 10)))
+    print(
+        format_series(
+            "window",
+            idx,
+            {"reciprocity": [round(off.values[i], 3) for i in idx]},
+            title="Edge reciprocity over time (wiki-talk profile)",
+        )
+    )
+
+    print()
+    for run in (off, stream, pm):
+        print(
+            format_kv(
+                {k: round(v, 3) for k, v in run.timings.as_dict().items()},
+                title=f"{run.model} phases (s), total "
+                f"{run.total_time:.3f}s",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

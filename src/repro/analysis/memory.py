@@ -1,0 +1,91 @@
+"""Memory accounting for the postmortem representation (Section 4.1).
+
+The paper prices the multi-window representation at
+
+    encoding x (Σ_w |V_w| + 2 x Σ_w |E_w|)
+
+with 64-bit encoding, and requires it to fit in memory alongside the
+intermediate PageRank vectors.  These helpers report both the model
+formula and the actually-allocated bytes per multi-window graph, plus the
+replication overhead vs. the raw event log — the quantity the multi-window
+count Y trades against per-SpMV work (Figure 8's companion discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.multiwindow import MultiWindowPartition
+
+__all__ = ["MemoryReport", "memory_report", "ENCODING_BYTES"]
+
+ENCODING_BYTES = 8  # the paper: "we use 64-bit for all data"
+
+
+@dataclass
+class GraphMemory:
+    """Memory of one multi-window graph."""
+
+    index: int
+    n_windows: int
+    n_vertices: int
+    n_events: int
+    model_bytes: int
+    allocated_bytes: int
+
+
+@dataclass
+class MemoryReport:
+    """Memory of a full multi-window partition."""
+
+    graphs: List[GraphMemory]
+    raw_event_bytes: int
+    replication_factor: float
+
+    @property
+    def total_model_bytes(self) -> int:
+        """The paper's formula summed over all multi-window graphs."""
+        return sum(g.model_bytes for g in self.graphs)
+
+    @property
+    def total_allocated_bytes(self) -> int:
+        return sum(g.allocated_bytes for g in self.graphs)
+
+    @property
+    def overhead_vs_raw(self) -> float:
+        """Allocated representation bytes per raw event-log byte."""
+        return self.total_allocated_bytes / max(self.raw_event_bytes, 1)
+
+    def pagerank_workspace_bytes(self, vector_length: int = 1) -> int:
+        """The intermediate-vector memory one in-flight solve needs per
+        multi-window graph (x and y per column), maximized over graphs —
+        the part the paper says must be "retained available"."""
+        return max(
+            (2 * g.n_vertices * vector_length * ENCODING_BYTES
+             for g in self.graphs),
+            default=0,
+        )
+
+
+def memory_report(partition: MultiWindowPartition) -> MemoryReport:
+    """Account the memory of a multi-window partition."""
+    graphs = []
+    for i, g in enumerate(partition.graphs):
+        model = ENCODING_BYTES * (g.n_local_vertices + 2 * g.nnz)
+        graphs.append(
+            GraphMemory(
+                index=i,
+                n_windows=g.n_windows,
+                n_vertices=g.n_local_vertices,
+                n_events=g.nnz,
+                model_bytes=model,
+                allocated_bytes=g.memory_bytes(),
+            )
+        )
+    raw = 3 * ENCODING_BYTES * len(partition.events)  # (src, dst, time)
+    return MemoryReport(
+        graphs=graphs,
+        raw_event_bytes=raw,
+        replication_factor=partition.replication_factor,
+    )

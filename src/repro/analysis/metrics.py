@@ -1,0 +1,55 @@
+"""Rank-quality metrics for comparing PageRank vectors.
+
+Used by tests and examples to confirm that cheaper configurations (looser
+tolerance, SpMM batching, warm starts) preserve the *ranking*, which is what
+downstream analyses consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["spearman_rank_correlation", "topk_overlap", "l1_distance"]
+
+
+def _check_pair(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValidationError("inputs must be 1-D vectors of equal length")
+    return a, b
+
+
+def spearman_rank_correlation(a, b) -> float:
+    """Spearman rho between two score vectors (1.0 = identical ranking)."""
+    a, b = _check_pair(a, b)
+    if a.size < 2:
+        return 1.0
+    ra = np.argsort(np.argsort(a)).astype(np.float64)
+    rb = np.argsort(np.argsort(b)).astype(np.float64)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return 1.0
+    return float((ra * rb).sum() / denom)
+
+
+def topk_overlap(a, b, k: int = 10) -> float:
+    """Fraction of shared vertices among the two top-k sets (Jaccard-style
+    |A ∩ B| / k)."""
+    a, b = _check_pair(a, b)
+    if k <= 0:
+        raise ValidationError("k must be > 0")
+    k = min(k, a.size)
+    ta = set(np.argpartition(a, -k)[-k:].tolist())
+    tb = set(np.argpartition(b, -k)[-k:].tolist())
+    return len(ta & tb) / k
+
+
+def l1_distance(a, b) -> float:
+    """Total variation-style L1 distance between two vectors."""
+    a, b = _check_pair(a, b)
+    return float(np.abs(a - b).sum())

@@ -1,0 +1,118 @@
+"""Time-series analytics over per-window results.
+
+Postmortem analysis exists to study *change over time* (the paper's
+introduction: "one can also be interested in understanding the nature of
+changes in the graph over time").  These helpers turn a window-indexed
+sequence of score vectors into the summaries analysts read:
+
+* :func:`rank_stability_series` — Spearman correlation between consecutive
+  windows' rankings (a crisis shows up as a stability dip);
+* :func:`topk_churn_series` — how much of the top-k turns over per window;
+* :func:`rising_vertices` — vertices with the steepest rank gains over a
+  span (the "actors becoming central" question of Section 3.2);
+* :func:`detect_change_points` — z-score change detection over any scalar
+  series (e.g. edge counts, giant-component fraction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import spearman_rank_correlation, topk_overlap
+from repro.errors import ValidationError
+
+__all__ = [
+    "rank_stability_series",
+    "topk_churn_series",
+    "rising_vertices",
+    "detect_change_points",
+]
+
+
+def _check_matrix(values: Sequence[np.ndarray]) -> List[np.ndarray]:
+    vecs = [np.asarray(v, dtype=np.float64) for v in values]
+    if len(vecs) < 2:
+        raise ValidationError("need at least two windows")
+    n = vecs[0].size
+    if any(v.shape != (n,) for v in vecs):
+        raise ValidationError("all windows must share the vertex space")
+    return vecs
+
+
+def rank_stability_series(
+    values: Sequence[np.ndarray], min_shared: int = 5
+) -> np.ndarray:
+    """Spearman rho between each consecutive window pair, restricted to
+    vertices active (> 0) in both; NaN when fewer than ``min_shared``
+    vertices are shared."""
+    vecs = _check_matrix(values)
+    out = np.full(len(vecs) - 1, np.nan)
+    for i in range(len(vecs) - 1):
+        shared = (vecs[i] > 0) & (vecs[i + 1] > 0)
+        if int(shared.sum()) >= min_shared:
+            out[i] = spearman_rank_correlation(
+                vecs[i][shared], vecs[i + 1][shared]
+            )
+    return out
+
+
+def topk_churn_series(
+    values: Sequence[np.ndarray], k: int = 10
+) -> np.ndarray:
+    """Per-step turnover of the top-k set: ``1 - overlap``; 0 = stable."""
+    vecs = _check_matrix(values)
+    return np.array(
+        [
+            1.0 - topk_overlap(vecs[i], vecs[i + 1], k=k)
+            for i in range(len(vecs) - 1)
+        ]
+    )
+
+
+def rising_vertices(
+    values: Sequence[np.ndarray],
+    window_from: int,
+    window_to: int,
+    top: int = 5,
+) -> List[Tuple[int, float, float]]:
+    """Vertices with the largest score gains between two windows.
+
+    Returns ``(vertex, score_from, score_to)`` sorted by gain descending.
+    """
+    vecs = _check_matrix(values)
+    if not (0 <= window_from < len(vecs) and 0 <= window_to < len(vecs)):
+        raise ValidationError("window indices out of range")
+    a, b = vecs[window_from], vecs[window_to]
+    gain = b - a
+    top = min(top, gain.size)
+    idx = np.argpartition(gain, -top)[-top:]
+    idx = idx[np.argsort(gain[idx])[::-1]]
+    return [(int(v), float(a[v]), float(b[v])) for v in idx]
+
+
+def detect_change_points(
+    series: np.ndarray, z_threshold: float = 3.0, warmup: int = 5
+) -> np.ndarray:
+    """Indices where a scalar series jumps more than ``z_threshold``
+    running standard deviations from the running mean.
+
+    A simple online z-score detector: position i is flagged when
+    ``|x[i] - mean(x[:i])| > z * std(x[:i])`` with at least ``warmup``
+    history points.  Used on edge-count series to locate crisis spikes.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValidationError("series must be 1-D")
+    if z_threshold <= 0:
+        raise ValidationError("z_threshold must be > 0")
+    flags = []
+    for i in range(warmup, x.size):
+        history = x[:i]
+        std = history.std()
+        if std == 0:
+            continue
+        if abs(x[i] - history.mean()) > z_threshold * std:
+            flags.append(i)
+    return np.array(flags, dtype=np.int64)

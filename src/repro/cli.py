@@ -1,0 +1,390 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro-temporal generate wiki-talk --scale 0.2 --out wiki.npz
+    repro-temporal info wiki.npz
+    repro-temporal run wiki.npz --delta-days 90 --sw 86400 --top 5
+    repro-temporal compare wiki.npz --delta-days 90 --sw 86400
+    repro-temporal sweep wiki.npz --delta-days 90 --sw 86400 --workers 48
+    repro-temporal kernel wiki.npz --delta-days 90 --sw 86400 --name maxcore
+    repro-temporal report --output-dir benchmarks/output --out REPORT.md
+
+* **generate** — write a synthetic dataset profile to ``.npz``/``.tsv``.
+* **info** — event counts, span, temporal shape classification.
+* **run** — postmortem PageRank over the sliding windows; per-window top
+  vertices.
+* **compare** — measured wall-clock of offline / streaming / postmortem.
+* **sweep** — simulated multicore sweep of level x granularity (the
+  Section 6.3.6 tuning aid).
+* **kernel** — a non-PageRank analysis (components / maxcore / triangles /
+  katz) per window.
+* **report** — collate benchmark outputs into one Markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-temporal",
+        description="Postmortem PageRank on temporal graphs (ICPP'22 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    p_gen.add_argument("profile", help="profile name (see `list`)")
+    p_gen.add_argument("--scale", type=float, default=1.0)
+    p_gen.add_argument("--seed-offset", type=int, default=0)
+    p_gen.add_argument("--out", required=True,
+                       help="output path (.npz or .tsv)")
+
+    sub.add_parser("list", help="list dataset profiles")
+
+    p_info = sub.add_parser("info", help="describe an event file")
+    p_info.add_argument("events", help="event file (.npz or .tsv)")
+
+    def add_window_args(p):
+        p.add_argument("--delta-days", type=float, required=True,
+                       help="window size in days")
+        p.add_argument("--sw", type=int, required=True,
+                       help="sliding offset in seconds")
+        p.add_argument("--max-windows", type=int, default=None)
+        p.add_argument("--alpha", type=float, default=0.15)
+        p.add_argument("--tolerance", type=float, default=1e-8)
+
+    p_run = sub.add_parser("run", help="postmortem PageRank over windows")
+    p_run.add_argument("events")
+    add_window_args(p_run)
+    p_run.add_argument("--multiwindows", type=int, default=6)
+    p_run.add_argument("--kernel", choices=["spmv", "spmm"], default="spmm")
+    p_run.add_argument("--vector-length", type=int, default=16)
+    p_run.add_argument("--partition", default="uniform",
+                       choices=["uniform", "minimax", "greedy"])
+    p_run.add_argument("--top", type=int, default=3,
+                       help="top vertices to print per window")
+    p_run.add_argument("--every", type=int, default=1,
+                       help="print every Nth window")
+
+    p_cmp = sub.add_parser(
+        "compare", help="offline vs streaming vs postmortem wall-clock"
+    )
+    p_cmp.add_argument("events")
+    add_window_args(p_cmp)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="simulated multicore parameter sweep"
+    )
+    p_sweep.add_argument("events")
+    add_window_args(p_sweep)
+    p_sweep.add_argument("--workers", type=int, default=48)
+    p_sweep.add_argument("--multiwindows", type=int, default=6)
+
+    p_kern = sub.add_parser(
+        "kernel", help="run a non-PageRank analysis kernel per window"
+    )
+    p_kern.add_argument("events")
+    add_window_args(p_kern)
+    p_kern.add_argument(
+        "--name",
+        default="components",
+        choices=["components", "maxcore", "triangles", "katz"],
+    )
+    p_kern.add_argument("--multiwindows", type=int, default=6)
+    p_kern.add_argument("--every", type=int, default=1)
+
+    p_rep = sub.add_parser(
+        "report", help="collate benchmark outputs into one Markdown report"
+    )
+    p_rep.add_argument(
+        "--output-dir", default="benchmarks/output",
+        help="directory of .txt artifacts",
+    )
+    p_rep.add_argument("--out", default=None, help="write Markdown here")
+
+    return parser
+
+
+def _load_events(path: str):
+    from repro.events import load_events_npz, load_events_tsv
+
+    if path.endswith(".npz"):
+        return load_events_npz(path)
+    return load_events_tsv(path)
+
+
+def _make_spec(events, args):
+    from repro.events import WindowSpec
+
+    spec = WindowSpec.covering_days(events, args.delta_days, args.sw)
+    if args.max_windows is not None and spec.n_windows > args.max_windows:
+        spec = WindowSpec(spec.t0, spec.delta, spec.sw, args.max_windows)
+    return spec
+
+
+def _make_config(args):
+    from repro.pagerank import PagerankConfig
+
+    return PagerankConfig(alpha=args.alpha, tolerance=args.tolerance)
+
+
+def cmd_generate(args, out) -> int:
+    from repro.datasets import get_profile
+    from repro.events import save_events_npz, save_events_tsv
+
+    profile = get_profile(args.profile)
+    events = profile.generate(seed_offset=args.seed_offset, scale=args.scale)
+    if args.out.endswith(".npz"):
+        save_events_npz(events, args.out)
+    else:
+        save_events_tsv(events, args.out)
+    print(
+        f"wrote {len(events)} events ({events.n_vertices} vertices, "
+        f"{events.span // 86_400} days) to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_list(args, out) -> int:
+    from repro.datasets import PROFILES
+    from repro.reporting import format_table
+
+    rows = [
+        [p.name, f"{p.paper_events:,}", f"{p.n_events:,}", p.figure4_shape]
+        for p in PROFILES.values()
+    ]
+    print(
+        format_table(
+            ["profile", "paper events", "base events", "temporal shape"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_info(args, out) -> int:
+    from repro.analysis import distribution_summary
+    from repro.reporting import format_kv
+
+    events = _load_events(args.events)
+    shape = distribution_summary(events) if len(events) else None
+    info = {
+        "events": len(events),
+        "vertices": events.n_vertices,
+        "span (days)": events.span // 86_400 if len(events) else 0,
+    }
+    if shape is not None:
+        info.update(
+            {
+                "shape class": shape.shape_class,
+                "peak/mean": round(shape.peak_to_mean, 2),
+                "gini": round(shape.gini, 3),
+                "trend": round(shape.trend, 3),
+            }
+        )
+    print(format_kv(info, title=args.events), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    from repro.models import PostmortemDriver, PostmortemOptions
+    from repro.reporting import format_table
+
+    events = _load_events(args.events)
+    spec = _make_spec(events, args)
+    options = PostmortemOptions(
+        n_multiwindows=args.multiwindows,
+        kernel=args.kernel,
+        vector_length=args.vector_length,
+        partition_method=args.partition,
+    )
+    run = PostmortemDriver(events, spec, _make_config(args), options).run()
+    rows = []
+    for w in run.windows[:: max(args.every, 1)]:
+        top = ", ".join(
+            f"v{v}={s:.4f}" for v, s in w.top_vertices(args.top)
+        )
+        rows.append(
+            [w.window_index, w.n_active_vertices, w.n_active_edges,
+             w.iterations, top]
+        )
+    print(
+        format_table(
+            ["window", "|V|", "|E|", "iters", f"top-{args.top}"],
+            rows,
+            title=f"postmortem PageRank over {spec.n_windows} windows",
+        ),
+        file=out,
+    )
+    print(
+        f"\ntotal {run.total_time:.3f}s "
+        f"(build {run.timings.totals.get('build', 0):.3f}s, "
+        f"pagerank {run.timings.totals.get('pagerank', 0):.3f}s)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    from repro.analysis import compare_models
+    from repro.reporting import format_bar_chart
+
+    events = _load_events(args.events)
+    spec = _make_spec(events, args)
+    t = compare_models(events, spec, _make_config(args))
+    print(
+        format_bar_chart(
+            {
+                "offline": t.offline_seconds,
+                "streaming": t.streaming_seconds,
+                "postmortem": t.postmortem_seconds,
+            },
+            title=f"wall-clock over {spec.n_windows} windows",
+            unit="s",
+        ),
+        file=out,
+    )
+    print(
+        f"\npostmortem vs streaming: {t.postmortem_vs_streaming:.1f}x, "
+        f"vs offline: {t.postmortem_vs_offline:.1f}x",
+        file=out,
+    )
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    from repro.parallel import (
+        AUTO,
+        MachineSpec,
+        calibrate_cost_model,
+        collect_window_stats,
+        estimate_makespan,
+    )
+    from repro.reporting import format_series
+
+    events = _load_events(args.events)
+    spec = _make_spec(events, args)
+    stats = collect_window_stats(
+        events, spec, _make_config(args), args.multiwindows
+    )
+    model = calibrate_cost_model()
+    machine = MachineSpec(args.workers)
+    granularities = [1, 4, 16, 64, 256]
+    series = {}
+    best = (float("inf"), None)
+    for level in ("window", "application", "nested"):
+        for kernel in ("spmv", "spmm"):
+            key = f"{level}/{kernel}"
+            ys = []
+            for g in granularities:
+                t = estimate_makespan(
+                    stats, machine, model, level, AUTO, g, kernel, 16
+                )
+                ys.append(t * 1_000)
+                if t < best[0]:
+                    best = (t, (level, kernel, g))
+            series[key] = ys
+    print(
+        format_series(
+            "granularity",
+            granularities,
+            series,
+            title=(
+                f"simulated makespan (ms) on {args.workers} workers, "
+                f"auto partitioner"
+            ),
+        ),
+        file=out,
+    )
+    level, kernel, g = best[1]
+    print(
+        f"\nbest: {level}/{kernel} at granularity {g} "
+        f"({best[0] * 1000:.2f} ms)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_kernel(args, out) -> int:
+    from repro.kernels import (
+        TemporalKernelDriver,
+        connected_components,
+        katz_window,
+        max_core,
+    )
+    from repro.analysis import triangle_count
+    from repro.reporting import format_series
+
+    events = _load_events(args.events)
+    spec = _make_spec(events, args)
+    driver = TemporalKernelDriver(events, spec, args.multiwindows)
+    kernels = {
+        "components": (connected_components, lambda c: c.n_components),
+        "maxcore": (max_core, float),
+        "triangles": (triangle_count, float),
+        "katz": (katz_window, lambda r: float(r.values.max())),
+    }
+    kernel, extract = kernels[args.name]
+    result = driver.run(kernel, name=args.name)
+    series = result.series(extract)
+    idx = list(range(0, spec.n_windows, max(args.every, 1)))
+    print(
+        format_series(
+            "window",
+            idx,
+            {args.name: [float(series[i]) for i in idx]},
+            title=f"{args.name} over {spec.n_windows} windows",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.reporting.report import generate_report
+
+    text = generate_report(args.output_dir, report_path=args.out)
+    if args.out:
+        print(f"wrote report to {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "list": cmd_list,
+    "info": cmd_info,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "kernel": cmd_kernel,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "EmptyEventSetError",
+    "WindowSpecError",
+    "GraphBuildError",
+    "ConvergenceError",
+    "SchedulerError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, ordering)."""
+
+
+class EmptyEventSetError(ValidationError):
+    """An operation requires at least one temporal event."""
+
+
+class WindowSpecError(ValidationError):
+    """A sliding-window specification is inconsistent (e.g. sw <= 0)."""
+
+
+class GraphBuildError(ReproError):
+    """A graph representation could not be constructed from the inputs."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within ``max_iterations``.
+
+    Raised only when the caller requests strict convergence; by default the
+    solvers return the best iterate with a ``converged=False`` flag, which is
+    what the paper's implementation does (fixed max iteration count).
+    """
+
+
+class SchedulerError(ReproError):
+    """The parallel scheduler (real or simulated) hit an invalid state."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset profile could not be generated."""

@@ -1,0 +1,198 @@
+"""The sliding-window model (paper Section 2.1, Figure 1).
+
+``WindowSpec(t0, delta, sw, n_windows)`` describes the graph sequence
+
+    G_i = G(T_i, T_i + delta),   T_i = t0 + i * sw,   i = 0..n_windows-1.
+
+``delta`` is the window size; ``sw`` the sliding offset.  The paper always
+chooses ``sw <= delta`` so consecutive windows overlap, but the code supports
+disjoint windows too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List
+
+import numpy as np
+
+from repro.errors import WindowSpecError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.event_set import TemporalEventSet
+
+__all__ = ["Window", "WindowSpec"]
+
+SECONDS_PER_DAY = 86_400
+
+
+@dataclass(frozen=True)
+class Window:
+    """One concrete window ``[t_start, t_end]`` (inclusive ends)."""
+
+    index: int
+    t_start: int
+    t_end: int
+
+    @property
+    def length(self) -> int:
+        return self.t_end - self.t_start
+
+    def contains(self, t) -> bool | np.ndarray:
+        """Whether timestamp(s) ``t`` fall inside the window (vectorized)."""
+        return (np.asarray(t) >= self.t_start) & (np.asarray(t) <= self.t_end)
+
+    def overlaps(self, other: "Window") -> bool:
+        return self.t_start <= other.t_end and other.t_start <= self.t_end
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """The full sliding-window specification.
+
+    Parameters
+    ----------
+    t0:
+        Start time of the first window (the paper sets it to the beginning
+        of the dataset).
+    delta:
+        Window size in time units.
+    sw:
+        Sliding offset in time units.
+    n_windows:
+        Number of windows ``m + 1`` in the sequence.
+    """
+
+    t0: int
+    delta: int
+    sw: int
+    n_windows: int
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise WindowSpecError(f"delta must be > 0, got {self.delta}")
+        if self.sw <= 0:
+            raise WindowSpecError(f"sw must be > 0, got {self.sw}")
+        if self.n_windows <= 0:
+            raise WindowSpecError(
+                f"n_windows must be > 0, got {self.n_windows}"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def covering(
+        cls, events: "TemporalEventSet", delta: int, sw: int
+    ) -> "WindowSpec":
+        """The spec whose windows start at the dataset start and slide until
+        the last window still intersects the data — exactly the paper's
+        setup ("T0 is set by the beginning of the dataset")."""
+        t0 = events.t_min
+        span = events.t_max - t0
+        # last window index i such that T_i <= t_max
+        n = max(1, int(span // sw) + 1)
+        return cls(t0=t0, delta=delta, sw=sw, n_windows=n)
+
+    @classmethod
+    def covering_days(
+        cls, events: "TemporalEventSet", delta_days: float, sw_seconds: int
+    ) -> "WindowSpec":
+        """Paper-style parameters: window size in days, offset in seconds."""
+        return cls.covering(events, int(delta_days * SECONDS_PER_DAY), sw_seconds)
+
+    # ------------------------------------------------------------------
+    # window access
+    # ------------------------------------------------------------------
+    def window(self, i: int) -> Window:
+        """The i-th window ``[T_i, T_i + delta]``."""
+        if not (0 <= i < self.n_windows):
+            raise WindowSpecError(
+                f"window index {i} out of range [0, {self.n_windows})"
+            )
+        ts = self.t0 + i * self.sw
+        return Window(index=i, t_start=ts, t_end=ts + self.delta)
+
+    def __len__(self) -> int:
+        return self.n_windows
+
+    def __iter__(self) -> Iterator[Window]:
+        for i in range(self.n_windows):
+            yield self.window(i)
+
+    def windows(self) -> List[Window]:
+        """All windows of the sequence, in order."""
+        return list(self)
+
+    @property
+    def t_end(self) -> int:
+        """End time of the last window."""
+        return self.t0 + (self.n_windows - 1) * self.sw + self.delta
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of a window shared with its successor (0 when
+        disjoint)."""
+        return max(0.0, 1.0 - self.sw / self.delta)
+
+    def starts(self) -> np.ndarray:
+        """Vector of all window start times."""
+        return self.t0 + np.arange(self.n_windows, dtype=np.int64) * self.sw
+
+    def ends(self) -> np.ndarray:
+        """Vector of all window end times."""
+        return self.starts() + self.delta
+
+    # ------------------------------------------------------------------
+    # event <-> window algebra
+    # ------------------------------------------------------------------
+    def windows_containing(self, t: int) -> np.ndarray:
+        """Indices of every window whose interval contains timestamp ``t``.
+
+        A timestamp is in window i iff ``T_i <= t <= T_i + delta`` i.e.
+        ``(t - delta - t0)/sw <= i <= (t - t0)/sw``.
+        """
+        hi = (t - self.t0) // self.sw
+        lo = -(-(t - self.delta - self.t0) // self.sw)  # ceil division
+        lo = max(lo, 0)
+        hi = min(hi, self.n_windows - 1)
+        if hi < lo:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(lo, hi + 1, dtype=np.int64)
+
+    def first_window_of(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized: index of the earliest window containing each
+        timestamp (may be ``n_windows`` meaning "none", or negative parts
+        clipped to 0 checks by caller)."""
+        t = np.asarray(t, dtype=np.int64)
+        lo = -(-(t - self.delta - self.t0) // self.sw)
+        return np.maximum(lo, 0)
+
+    def last_window_of(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized: index of the latest window containing each timestamp
+        (may be ``-1`` meaning "before the first window")."""
+        t = np.asarray(t, dtype=np.int64)
+        hi = (t - self.t0) // self.sw
+        return np.minimum(hi, self.n_windows - 1)
+
+    def event_window_multiplicity(self, t: np.ndarray) -> np.ndarray:
+        """How many windows each timestamp falls into (the replication
+        factor that drives multi-window memory cost)."""
+        lo = self.first_window_of(t)
+        hi = self.last_window_of(t)
+        return np.maximum(hi - lo + 1, 0)
+
+    def subspec(self, w_start: int, w_count: int) -> "WindowSpec":
+        """A spec for the contiguous run of windows ``[w_start,
+        w_start + w_count)`` — used by multi-window partitioning."""
+        if w_start < 0 or w_count <= 0 or w_start + w_count > self.n_windows:
+            raise WindowSpecError(
+                f"invalid subspec [{w_start}, {w_start + w_count}) of "
+                f"{self.n_windows} windows"
+            )
+        return WindowSpec(
+            t0=self.t0 + w_start * self.sw,
+            delta=self.delta,
+            sw=self.sw,
+            n_windows=w_count,
+        )

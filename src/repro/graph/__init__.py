@@ -1,0 +1,34 @@
+"""Graph representations.
+
+* :mod:`repro.graph.csr` — plain static CSR (the offline model rebuilds one
+  per window).
+* :mod:`repro.graph.temporal_csr` — the paper's temporal CSR (Figure 3):
+  ``rowA``/``colA``/``timeA`` with adjacencies sorted by neighbor then
+  timestamp, plus vectorized window activity/dedup masks and degrees.
+* :mod:`repro.graph.multiwindow` — partitioning the window sequence into
+  multi-window graphs (Section 4.1) with local vertex compaction.
+"""
+
+from repro.graph.csr import CSRGraph, build_csr_from_edges
+from repro.graph.temporal_csr import TemporalCSR, TemporalAdjacency, WindowView
+from repro.graph.multiwindow import MultiWindowGraph, MultiWindowPartition
+from repro.graph.balanced import (
+    BalancedMultiWindowPartition,
+    balanced_boundaries,
+    greedy_boundaries,
+    window_event_counts,
+)
+
+__all__ = [
+    "CSRGraph",
+    "build_csr_from_edges",
+    "TemporalCSR",
+    "TemporalAdjacency",
+    "WindowView",
+    "MultiWindowGraph",
+    "MultiWindowPartition",
+    "BalancedMultiWindowPartition",
+    "balanced_boundaries",
+    "greedy_boundaries",
+    "window_event_counts",
+]

@@ -1,0 +1,307 @@
+"""The temporal CSR representation (paper Section 4.1, Figure 3).
+
+One orientation of the structure stores, for every row vertex, its incident
+events sorted **by neighbor id, then by timestamp** — exactly the layout of
+Figure 3 (``rowA``, ``colA``, ``timeA``).  Because a window is a time
+*interval* and each (row, neighbor) group is time-sorted, the events of a
+group that are active in a window form a **contiguous run**, which makes
+both the activity test and the first-occurrence dedup mask O(nnz)
+vectorized operations:
+
+    active[j] = t_start <= timeA[j] <= t_end
+    dedup[j]  = active[j] and (group_start[j] or not active[j-1])
+
+``dedup`` selects exactly one event per active (row, neighbor) pair — the
+simple-graph edge multiplicity collapse the PageRank kernels need.
+
+:class:`TemporalAdjacency` bundles the two orientations (in-edges for the
+pull-style SpMV, out-edges for per-window out-degrees) built from one event
+set; :class:`WindowView` packages everything a kernel needs for one window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphBuildError
+from repro.graph.csr import CSRGraph, build_csr_from_edges
+from repro.utils.segments import (
+    indptr_to_row_ids,
+    lengths_to_indptr,
+    segment_count,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.event_set import TemporalEventSet
+    from repro.events.windows import Window
+
+__all__ = ["TemporalCSR", "TemporalAdjacency", "WindowView"]
+
+
+class TemporalCSR:
+    """One orientation of the temporal CSR structure.
+
+    Attributes
+    ----------
+    indptr:
+        ``rowA`` — per-row event ranges, ``n_rows + 1`` entries.
+    col:
+        ``colA`` — neighbor vertex id per event.
+    time:
+        ``timeA`` — timestamp per event.
+    group_start:
+        Boolean per event: True where a new (row, neighbor) group begins.
+        Precomputed once at build; every window mask derives from it.
+    """
+
+    __slots__ = ("indptr", "col", "time", "group_start", "n_rows", "_row_ids")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        col: np.ndarray,
+        time: np.ndarray,
+        n_rows: int,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.col = np.ascontiguousarray(col, dtype=np.int64)
+        self.time = np.ascontiguousarray(time, dtype=np.int64)
+        self.n_rows = int(n_rows)
+        if self.indptr.size != self.n_rows + 1:
+            raise GraphBuildError("indptr size must be n_rows + 1")
+        if self.indptr[-1] != self.col.size or self.col.size != self.time.size:
+            raise GraphBuildError("col/time must both have indptr[-1] entries")
+
+        self._row_ids: Optional[np.ndarray] = None
+        self.group_start = self._compute_group_starts()
+
+    def _compute_group_starts(self) -> np.ndarray:
+        nnz = self.col.size
+        gs = np.zeros(nnz, dtype=bool)
+        if nnz == 0:
+            return gs
+        gs[0] = True
+        # new group when the neighbor changes...
+        np.not_equal(self.col[1:], self.col[:-1], out=gs[1:])
+        # ...or when a new row starts (row boundaries from indptr)
+        boundaries = self.indptr[1:-1]
+        boundaries = boundaries[boundaries < nnz]
+        gs[boundaries] = True
+        return gs
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored event count Σ|Ew| (>= number of distinct edges)."""
+        return self.col.size
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct (row, neighbor) pairs."""
+        return int(self.group_start.sum())
+
+    def row_ids(self) -> np.ndarray:
+        """Per-event row id (cached expansion of ``indptr``)."""
+        if self._row_ids is None:
+            self._row_ids = indptr_to_row_ids(self.indptr)
+        return self._row_ids
+
+    # ------------------------------------------------------------------
+    # window masks — the heart of the representation
+    # ------------------------------------------------------------------
+    def active_mask(self, t_start: int, t_end: int) -> np.ndarray:
+        """Events with ``t_start <= t <= t_end``."""
+        return (self.time >= t_start) & (self.time <= t_end)
+
+    def dedup_mask(
+        self, t_start: int, t_end: int, active: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """First active event of each (row, neighbor) group in the window.
+
+        Selects exactly one representative per active simple edge.  Relies
+        on per-group time-sortedness: active events in a group are
+        contiguous, so the representative is the event whose predecessor is
+        outside the window or in a different group.
+        """
+        if active is None:
+            active = self.active_mask(t_start, t_end)
+        dedup = active.copy()
+        if dedup.size == 0:
+            return dedup
+        inherited = ~self.group_start[1:] & active[:-1]
+        dedup[1:] &= ~inherited
+        return dedup
+
+    def degrees(
+        self, t_start: int, t_end: int, dedup: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-row count of distinct active neighbors in the window."""
+        if dedup is None:
+            dedup = self.dedup_mask(t_start, t_end)
+        return segment_count(dedup, self.indptr)
+
+    def compact_window(self, t_start: int, t_end: int) -> CSRGraph:
+        """Materialize the window's simple graph as a plain CSR (row ->
+        neighbor).  Used by tests and by per-window precompaction."""
+        dedup = self.dedup_mask(t_start, t_end)
+        rows = self.row_ids()[dedup]
+        cols = self.col[dedup]
+        return build_csr_from_edges(rows, cols, self.n_rows, dedup=False)
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint (64-bit encoding, as in the paper)."""
+        return (
+            self.indptr.nbytes
+            + self.col.nbytes
+            + self.time.nbytes
+            + self.group_start.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalCSR(n_rows={self.n_rows}, nnz={self.nnz}, "
+            f"groups={self.n_groups})"
+        )
+
+
+def _build_orientation(
+    rows: np.ndarray, cols: np.ndarray, times: np.ndarray, n_rows: int
+) -> TemporalCSR:
+    """Sort events by (row, neighbor, time) and pack into a TemporalCSR."""
+    if rows.size:
+        order = np.lexsort((times, cols, rows))
+        rows, cols, times = rows[order], cols[order], times[order]
+    counts = np.bincount(rows, minlength=n_rows) if rows.size else np.zeros(
+        n_rows, dtype=np.int64
+    )
+    indptr = lengths_to_indptr(counts)
+    return TemporalCSR(indptr, cols, times, n_rows)
+
+
+class TemporalAdjacency:
+    """Both orientations of the temporal CSR for one event set.
+
+    * ``in_csr`` — rows are **destinations**, neighbors are sources: the
+      pull-style PageRank iteration is a segment-sum over its rows.
+    * ``out_csr`` — rows are **sources**, neighbors are destinations: yields
+      per-window out-degrees |Γ+(u)|.
+    """
+
+    __slots__ = ("in_csr", "out_csr", "n_vertices")
+
+    def __init__(self, in_csr: TemporalCSR, out_csr: TemporalCSR) -> None:
+        if in_csr.n_rows != out_csr.n_rows:
+            raise GraphBuildError("orientations must share the vertex count")
+        if in_csr.nnz != out_csr.nnz:
+            raise GraphBuildError("orientations must store the same events")
+        self.in_csr = in_csr
+        self.out_csr = out_csr
+        self.n_vertices = in_csr.n_rows
+
+    @classmethod
+    def from_events(cls, events: "TemporalEventSet") -> "TemporalAdjacency":
+        """Build both orientations from a temporal event set — the single
+        O(|Events| log |Events|) construction step of the postmortem model."""
+        return cls.from_arrays(
+            events.src, events.dst, events.time, events.n_vertices
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, src, dst, time, n_vertices: int
+    ) -> "TemporalAdjacency":
+        """Build both orientations from raw (src, dst, time) arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        time = np.asarray(time, dtype=np.int64)
+        in_csr = _build_orientation(dst, src, time, n_vertices)
+        out_csr = _build_orientation(src, dst, time, n_vertices)
+        return cls(in_csr, out_csr)
+
+    @property
+    def nnz(self) -> int:
+        return self.in_csr.nnz
+
+    def window_view(self, window: "Window") -> "WindowView":
+        """Precompute everything one PageRank run needs for ``window``."""
+        return WindowView(self, window)
+
+    def memory_bytes(self) -> int:
+        """Total bytes of both orientations."""
+        return self.in_csr.memory_bytes() + self.out_csr.memory_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalAdjacency(n_vertices={self.n_vertices}, nnz={self.nnz})"
+        )
+
+
+class WindowView:
+    """Per-window activity data derived from a :class:`TemporalAdjacency`.
+
+    Holds the in-orientation dedup mask (which edges a pull iteration
+    traverses), per-vertex out-degrees, the active vertex set V_i, and
+    cached derived quantities.  Cost of construction is Θ(nnz) — the
+    per-window traversal the multi-window partitioning shrinks.
+    """
+
+    __slots__ = (
+        "adjacency",
+        "window",
+        "in_dedup",
+        "out_degrees",
+        "in_degrees",
+        "active_vertices_mask",
+        "n_active_vertices",
+        "n_active_edges",
+        "_inv_out",
+    )
+
+    def __init__(self, adjacency: TemporalAdjacency, window: "Window") -> None:
+        self.adjacency = adjacency
+        self.window = window
+        ts, te = window.t_start, window.t_end
+
+        in_csr, out_csr = adjacency.in_csr, adjacency.out_csr
+        self.in_dedup = in_csr.dedup_mask(ts, te)
+        self.in_degrees = segment_count(self.in_dedup, in_csr.indptr)
+        self.out_degrees = out_csr.degrees(ts, te)
+
+        active = (self.in_degrees > 0) | (self.out_degrees > 0)
+        self.active_vertices_mask = active
+        self.n_active_vertices = int(active.sum())
+        self.n_active_edges = int(self.in_dedup.sum())
+        self._inv_out: Optional[np.ndarray] = None
+
+    @property
+    def n_vertices(self) -> int:
+        """|V_i| — vertices incident to at least one active edge."""
+        return self.n_active_vertices
+
+    def inverse_out_degrees(self) -> np.ndarray:
+        """1 / |Γ+(u)| with zeros for dangling/inactive vertices (cached)."""
+        if self._inv_out is None:
+            inv = np.zeros(self.adjacency.n_vertices, dtype=np.float64)
+            nz = self.out_degrees > 0
+            inv[nz] = 1.0 / self.out_degrees[nz]
+            self._inv_out = inv
+        return self._inv_out
+
+    def pull_sources(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(dedup mask, source ids) for the pull iteration."""
+        return self.in_dedup, self.adjacency.in_csr.col
+
+    def compact_graph(self) -> CSRGraph:
+        """The window's simple out-graph as a plain CSR (for reference
+        implementations and the offline model comparison)."""
+        return self.adjacency.out_csr.compact_window(
+            self.window.t_start, self.window.t_end
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WindowView(window={self.window.index}, "
+            f"|V|={self.n_active_vertices}, |E|={self.n_active_edges})"
+        )

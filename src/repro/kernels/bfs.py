@@ -1,0 +1,75 @@
+"""Level-synchronous BFS over window graphs — the substrate for the
+distance-based centralities (closeness, betweenness).
+
+The frontier expansion is vectorized per level: gather all frontier
+vertices' adjacency ranges, concatenate, and mask out visited vertices —
+O(E) per BFS with NumPy-level constants, which at window scale makes exact
+all-sources sweeps feasible and sampled sweeps cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["bfs_distances", "bfs_levels"]
+
+
+def _expand(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+    """All out-neighbors of the frontier (with duplicates)."""
+    starts = graph.indptr[frontier]
+    ends = graph.indptr[frontier + 1]
+    lens = ends - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(
+        starts - np.concatenate([[0], np.cumsum(lens)[:-1]]), lens
+    )
+    return graph.col[np.arange(total) + offsets]
+
+
+def bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Hop distances from ``source`` (-1 for unreachable)."""
+    n = graph.n_vertices
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        nbrs = _expand(graph, frontier)
+        if nbrs.size == 0:
+            break
+        fresh = np.unique(nbrs[dist[nbrs] < 0])
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def bfs_levels(
+    graph: CSRGraph, source: int
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(level, vertices)`` per BFS level, level 0 = the source."""
+    n = graph.n_vertices
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    yield level, frontier
+    while frontier.size:
+        level += 1
+        nbrs = _expand(graph, frontier)
+        if nbrs.size == 0:
+            return
+        fresh = np.unique(nbrs[~seen[nbrs]])
+        if fresh.size == 0:
+            return
+        seen[fresh] = True
+        frontier = fresh
+        yield level, frontier

@@ -1,0 +1,95 @@
+"""Connected components per window (union-find, from scratch).
+
+Treats the window's active simple edges as undirected and labels weakly
+connected components with a union-find structure (union by size + full
+path compression).  Inactive vertices get label ``-1``.
+
+The implementation keeps the per-edge loop in Python but over *deduplicated
+window edges only* (Θ(|E_i| α(V)) total), which at window scale is cheap
+relative to the iterative kernels; the tests cross-check against
+``scipy.sparse.csgraph.connected_components``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.temporal_csr import WindowView
+
+__all__ = ["connected_components", "ComponentResult"]
+
+
+@dataclass
+class ComponentResult:
+    """Component labelling of one window.
+
+    ``labels[v]`` is the component id (0..n_components-1) of an active
+    vertex, or -1 for inactive vertices; ids are assigned in order of the
+    components' smallest vertex.
+    """
+
+    labels: np.ndarray
+    n_components: int
+
+    def sizes(self) -> np.ndarray:
+        """Vertex count of each component."""
+        active = self.labels >= 0
+        return np.bincount(
+            self.labels[active], minlength=self.n_components
+        )
+
+    def giant_fraction(self) -> float:
+        """Fraction of active vertices in the largest component (a common
+        temporal-connectivity summary)."""
+        s = self.sizes()
+        total = s.sum()
+        return float(s.max() / total) if total else 0.0
+
+
+class _UnionFind:
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, v: int) -> int:
+        root = v
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        # path compression
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def connected_components(view: WindowView) -> ComponentResult:
+    """Weakly connected components of one window's simple graph."""
+    n = view.adjacency.n_vertices
+    out_csr = view.adjacency.out_csr
+    dedup = out_csr.dedup_mask(view.window.t_start, view.window.t_end)
+    src = out_csr.row_ids()[dedup]
+    dst = out_csr.col[dedup]
+
+    uf = _UnionFind(n)
+    for u, v in zip(src.tolist(), dst.tolist()):
+        uf.union(u, v)
+
+    labels = np.full(n, -1, dtype=np.int64)
+    active = np.flatnonzero(view.active_vertices_mask)
+    roots = np.array([uf.find(int(v)) for v in active], dtype=np.int64)
+    unique_roots, compact = np.unique(roots, return_inverse=True)
+    labels[active] = compact
+    return ComponentResult(labels=labels, n_components=unique_roots.size)

@@ -1,0 +1,381 @@
+"""The postmortem execution model — the paper's contribution.
+
+The driver builds the multi-window temporal-CSR representation **once**
+(Section 4.1), then solves every window with:
+
+* partial initialization across consecutive windows (Section 4.2),
+* the SpMV kernel or the SpMM-inspired batched kernel with the strided
+  region schedule (Section 4.4),
+* optionally, real thread-based parallelism over windows in *contiguous
+  chunks*, so a thread that owns both G_{i-1} and G_i still applies partial
+  initialization (Section 4.3.1's scheduling constraint).
+
+The driver also records a machine-independent *task log* (per-window and
+per-batch work counters) that the discrete-event machine simulator
+(:mod:`repro.parallel.simulator`) replays to estimate multicore speedups —
+the documented substitution for the paper's 48-core TBB runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.events.event_set import TemporalEventSet
+from repro.events.windows import WindowSpec
+from repro.graph.multiwindow import MultiWindowGraph, MultiWindowPartition
+from repro.models.base import RunResult, WindowResult
+from repro.models.schedule import (
+    SpmmBatch,
+    sequential_schedule,
+    spmm_region_schedule,
+)
+from repro.pagerank.config import PagerankConfig
+from repro.pagerank.init import full_initialization, partial_initialization
+from repro.pagerank.spmm import pagerank_windows_spmm
+from repro.pagerank.spmv import pagerank_window
+from repro.pagerank.weighted import pagerank_window_weighted
+
+__all__ = ["PostmortemOptions", "PostmortemDriver", "solve_multiwindow_graph"]
+
+_KERNELS = ("spmv", "spmm")
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class PostmortemOptions:
+    """Tuning knobs of the postmortem model.
+
+    Attributes
+    ----------
+    n_multiwindows:
+        Number of multi-window graphs Y (paper default in Figure 5: 6).
+    partial_init:
+        Warm-start each window from its predecessor (within the same
+        multi-window graph).
+    kernel:
+        ``"spmv"`` (one window at a time) or ``"spmm"`` (batched windows
+        with the region schedule).
+    vector_length:
+        SpMM batch width (the paper uses 8 or 16).
+    executor:
+        ``"serial"``, ``"thread"`` (threads over multi-window graphs;
+        scales only when kernels release the GIL) or ``"process"``
+        (process pool over multi-window graphs; true parallelism on any
+        CPython at the cost of pickling each graph to its worker).
+    n_threads:
+        Thread count for the ``"thread"`` executor.
+    partition_method:
+        ``"uniform"`` (the paper's equal-window-count split),
+        ``"minimax"`` or ``"greedy"`` (the work-balanced splits of
+        :mod:`repro.graph.balanced` — the paper's Section 7 open
+        question).
+    weighted:
+        Weight window edges by their event multiplicity
+        (:mod:`repro.pagerank.weighted`); requires the SpMV kernel.
+    """
+
+    n_multiwindows: int = 6
+    partial_init: bool = True
+    kernel: str = "spmv"
+    vector_length: int = 16
+    executor: str = "serial"
+    n_threads: int = 4
+    partition_method: str = "uniform"
+    weighted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_multiwindows <= 0:
+            raise ValidationError("n_multiwindows must be > 0")
+        if self.kernel not in _KERNELS:
+            raise ValidationError(f"kernel must be one of {_KERNELS}")
+        if self.vector_length <= 0:
+            raise ValidationError("vector_length must be > 0")
+        if self.executor not in _EXECUTORS:
+            raise ValidationError(f"executor must be one of {_EXECUTORS}")
+        if self.n_threads <= 0:
+            raise ValidationError("n_threads must be > 0")
+        if self.partition_method not in ("uniform", "minimax", "greedy"):
+            raise ValidationError(
+                "partition_method must be 'uniform', 'minimax' or 'greedy'"
+            )
+        if self.weighted and self.kernel != "spmv":
+            raise ValidationError(
+                "weighted PageRank requires kernel='spmv'"
+            )
+
+
+@dataclass
+class TaskRecord:
+    """Machine-independent record of one solved task (window or SpMM
+    batch), consumed by the parallel machine simulator."""
+
+    multiwindow: int
+    windows: List[int]
+    iterations: int
+    structure_nnz: int
+    active_edges: int
+    active_vertices: int
+    used_partial_init: bool
+    kernel: str
+
+
+class PostmortemDriver:
+    """Runs Algorithm 1 under the postmortem model."""
+
+    model_name = "postmortem"
+
+    def __init__(
+        self,
+        events: TemporalEventSet,
+        spec: WindowSpec,
+        config: PagerankConfig = PagerankConfig(),
+        options: PostmortemOptions = PostmortemOptions(),
+    ) -> None:
+        self.events = events
+        self.spec = spec
+        self.config = config
+        self.options = options
+        self._partition: Optional[MultiWindowPartition] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> MultiWindowPartition:
+        """The multi-window representation (built lazily, once)."""
+        if self._partition is None:
+            if self.options.partition_method == "uniform":
+                self._partition = MultiWindowPartition(
+                    self.events, self.spec, self.options.n_multiwindows
+                )
+            else:
+                from repro.graph.balanced import BalancedMultiWindowPartition
+
+                self._partition = BalancedMultiWindowPartition(
+                    self.events,
+                    self.spec,
+                    self.options.n_multiwindows,
+                    method=self.options.partition_method,
+                )
+        return self._partition
+
+    def run(self, store_values: bool = True) -> RunResult:
+        """Solve every window; ``store_values=False`` keeps only per-window
+        summaries (benchmark mode)."""
+        result = RunResult(model=self.model_name)
+        with result.timings.phase("build"):
+            partition = self.partition
+
+        task_log: List[TaskRecord] = []
+        window_results: Dict[int, WindowResult] = {}
+
+        if (
+            self.options.executor in ("thread", "process")
+            and len(partition) > 1
+        ):
+            # one task per multi-window graph: the graph is the coarse
+            # parallel unit (its windows chain through partial init)
+            pool_cls = (
+                ThreadPoolExecutor
+                if self.options.executor == "thread"
+                else ProcessPoolExecutor
+            )
+            with result.timings.phase("pagerank"):
+                with pool_cls(self.options.n_threads) as pool:
+                    futures = [
+                        pool.submit(
+                            solve_multiwindow_graph,
+                            g,
+                            i,
+                            self.config,
+                            self.options,
+                            self.events.n_vertices,
+                            store_values,
+                        )
+                        for i, g in enumerate(partition)
+                    ]
+                    for fut in futures:
+                        wrs, tasks, work = fut.result()
+                        window_results.update(wrs)
+                        task_log.extend(tasks)
+                        result.work.merge(work)
+        else:
+            with result.timings.phase("pagerank"):
+                for g in partition:
+                    wrs, tasks, work = self._solve_graph(g, store_values)
+                    window_results.update(wrs)
+                    task_log.extend(tasks)
+                    result.work.merge(work)
+
+        result.windows = [
+            window_results[i] for i in range(self.spec.n_windows)
+        ]
+        result.metadata["n_windows"] = self.spec.n_windows
+        result.metadata["n_multiwindows"] = len(partition)
+        result.metadata["replication_factor"] = partition.replication_factor
+        result.metadata["task_log"] = task_log
+        result.metadata["options"] = self.options
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_graph(self, graph: MultiWindowGraph, store_values: bool):
+        """Solve every window of one multi-window graph (one sequential
+        partial-init chain)."""
+        mw_index = self.partition.graphs.index(graph)
+        return solve_multiwindow_graph(
+            graph,
+            mw_index,
+            self.config,
+            self.options,
+            self.events.n_vertices,
+            store_values,
+        )
+
+
+def _emit_window(
+    graph: MultiWindowGraph,
+    window: int,
+    view,
+    local_values: np.ndarray,
+    iterations: int,
+    converged: bool,
+    residual: float,
+    out: Dict[int, WindowResult],
+    store_values: bool,
+    n_global_vertices: int,
+) -> None:
+    values = (
+        graph.to_global(local_values, n_global_vertices)
+        if store_values
+        else None
+    )
+    out[window] = WindowResult(
+        window_index=window,
+        values=values,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        n_active_vertices=view.n_active_vertices,
+        n_active_edges=view.n_active_edges,
+    )
+
+
+def solve_multiwindow_graph(
+    graph: MultiWindowGraph,
+    mw_index: int,
+    config: PagerankConfig,
+    options: PostmortemOptions,
+    n_global_vertices: int,
+    store_values: bool,
+):
+    """Solve every window of one multi-window graph.
+
+    A module-level function (not a method) so the ``"process"`` executor
+    can ship (graph, config, options) to worker processes; within one
+    graph the windows form a sequential partial-initialization chain, so a
+    graph is the natural unit of coarse-grained parallelism.
+    """
+    if options.kernel == "spmm" and graph.n_windows > 1:
+        batches = spmm_region_schedule(
+            graph.first_window, graph.n_windows, options.vector_length
+        )
+    else:
+        batches = sequential_schedule(graph.first_window, graph.n_windows)
+
+    from repro.pagerank.result import WorkStats
+
+    window_results: Dict[int, WindowResult] = {}
+    local_values: Dict[int, np.ndarray] = {}
+    tasks: List[TaskRecord] = []
+    work = WorkStats()
+
+    views = {w: graph.window_view(w) for w in graph.window_indices()}
+
+    for batch in batches:
+        batch_views = [views[w] for w in batch.windows]
+        x0_cols = []
+        used_partial = False
+        for w, pred in zip(batch.windows, batch.predecessors):
+            view = views[w]
+            if (
+                options.partial_init
+                and pred is not None
+                and pred in local_values
+            ):
+                x0_cols.append(
+                    partial_initialization(
+                        view, views[pred], local_values[pred]
+                    )
+                )
+                used_partial = True
+            else:
+                x0_cols.append(full_initialization(view))
+
+        if len(batch.windows) == 1:
+            solver = (
+                pagerank_window_weighted if options.weighted
+                else pagerank_window
+            )
+            pr = solver(batch_views[0], config, x0=x0_cols[0])
+            local_values[batch.windows[0]] = pr.values
+            work.merge(pr.work)
+            _emit_window(
+                graph,
+                batch.windows[0],
+                batch_views[0],
+                pr.values,
+                pr.iterations,
+                pr.converged,
+                pr.residual,
+                window_results,
+                store_values,
+                n_global_vertices,
+            )
+            tasks.append(
+                TaskRecord(
+                    multiwindow=mw_index,
+                    windows=list(batch.windows),
+                    iterations=pr.iterations,
+                    structure_nnz=graph.nnz,
+                    active_edges=batch_views[0].n_active_edges,
+                    active_vertices=batch_views[0].n_active_vertices,
+                    used_partial_init=used_partial,
+                    kernel="spmv",
+                )
+            )
+        else:
+            X0 = np.stack(x0_cols, axis=1)
+            batch_result = pagerank_windows_spmm(batch_views, config, x0=X0)
+            work.merge(batch_result.work)
+            for j, w in enumerate(batch.windows):
+                local_values[w] = batch_result.values[:, j].copy()
+                _emit_window(
+                    graph,
+                    w,
+                    batch_views[j],
+                    local_values[w],
+                    int(batch_result.iterations_per_window[j]),
+                    bool(batch_result.converged[j]),
+                    float(batch_result.residuals[j]),
+                    window_results,
+                    store_values,
+                    n_global_vertices,
+                )
+            tasks.append(
+                TaskRecord(
+                    multiwindow=mw_index,
+                    windows=list(batch.windows),
+                    iterations=int(batch_result.iterations_per_window.max()),
+                    structure_nnz=graph.nnz,
+                    active_edges=sum(v.n_active_edges for v in batch_views),
+                    active_vertices=sum(
+                        v.n_active_vertices for v in batch_views
+                    ),
+                    used_partial_init=used_partial,
+                    kernel="spmm",
+                )
+            )
+    return window_results, tasks, work

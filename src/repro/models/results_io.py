@@ -1,0 +1,97 @@
+"""Persisting run results.
+
+A postmortem run over thousands of windows is worth caching: downstream
+analyses (rank stability, churn, rising actors) re-read the vectors many
+times.  ``save_run`` / ``load_run`` store a :class:`~repro.models.base.
+RunResult`'s vectors and per-window metadata in one compressed ``.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.models.base import RunResult, WindowResult
+from repro.utils.timer import TimingAccumulator
+
+__all__ = ["save_run", "load_run"]
+
+PathLike = Union[str, os.PathLike]
+
+_FIELDS = [
+    "window_index",
+    "iterations",
+    "converged",
+    "residual",
+    "n_active_vertices",
+    "n_active_edges",
+]
+
+
+def save_run(run: RunResult, path: PathLike) -> None:
+    """Serialize a run (with stored vectors) to a compressed archive."""
+    if any(w.values is None for w in run.windows):
+        raise ValidationError(
+            "cannot save a run executed with store_values=False"
+        )
+    values = np.stack(
+        [w.values for w in sorted(run.windows,
+                                  key=lambda w: w.window_index)],
+        axis=0,
+    )
+    meta = {
+        "model": run.model,
+        "timings": run.timings.as_dict(),
+        "metadata": {
+            k: v
+            for k, v in run.metadata.items()
+            if isinstance(v, (int, float, str, bool))
+        },
+    }
+    columns = {
+        f: np.array(
+            [getattr(w, f) for w in sorted(run.windows,
+                                           key=lambda w: w.window_index)]
+        )
+        for f in _FIELDS
+    }
+    np.savez_compressed(
+        path,
+        values=values,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **columns,
+    )
+
+
+def load_run(path: PathLike) -> RunResult:
+    """Load a run saved by :func:`save_run`."""
+    with np.load(path) as archive:
+        required = {"values", "meta", *_FIELDS}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValidationError(f"archive missing arrays: {sorted(missing)}")
+        meta = json.loads(bytes(archive["meta"]).decode())
+        values = archive["values"]
+        run = RunResult(model=meta["model"])
+        timings = TimingAccumulator()
+        for k, v in meta["timings"].items():
+            timings.add(k, float(v))
+        run.timings = timings
+        run.metadata.update(meta.get("metadata", {}))
+        for i in range(values.shape[0]):
+            run.windows.append(
+                WindowResult(
+                    window_index=int(archive["window_index"][i]),
+                    values=values[i],
+                    iterations=int(archive["iterations"][i]),
+                    converged=bool(archive["converged"][i]),
+                    residual=float(archive["residual"][i]),
+                    n_active_vertices=int(archive["n_active_vertices"][i]),
+                    n_active_edges=int(archive["n_active_edges"][i]),
+                )
+            )
+        return run

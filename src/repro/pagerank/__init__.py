@@ -1,0 +1,40 @@
+"""PageRank kernels.
+
+* :mod:`repro.pagerank.config` — solver parameters (teleportation alpha,
+  tolerance, iteration cap, dangling-mass policy).
+* :mod:`repro.pagerank.reference` — slow, obviously-correct implementations
+  used as test oracles.
+* :mod:`repro.pagerank.spmv` — the pull-style power iteration over a
+  masked temporal CSR window (the paper's SpMV kernel).
+* :mod:`repro.pagerank.init` — full and partial initialization (eq. 4).
+* :mod:`repro.pagerank.spmm` — the SpMM-inspired multi-window kernel
+  (Section 4.4).
+"""
+
+from repro.pagerank.config import PagerankConfig
+from repro.pagerank.result import PagerankResult, BatchPagerankResult, WorkStats
+from repro.pagerank.reference import (
+    pagerank_dense_reference,
+    pagerank_csr_reference,
+)
+from repro.pagerank.spmv import pagerank_window
+from repro.pagerank.init import full_initialization, partial_initialization
+from repro.pagerank.spmm import pagerank_windows_spmm
+from repro.pagerank.weighted import pagerank_window_weighted, window_edge_weights
+from repro.pagerank.propagation_blocking import pagerank_window_pb
+
+__all__ = [
+    "PagerankConfig",
+    "PagerankResult",
+    "BatchPagerankResult",
+    "WorkStats",
+    "pagerank_dense_reference",
+    "pagerank_csr_reference",
+    "pagerank_window",
+    "full_initialization",
+    "partial_initialization",
+    "pagerank_windows_spmm",
+    "pagerank_window_weighted",
+    "window_edge_weights",
+    "pagerank_window_pb",
+]

@@ -1,0 +1,86 @@
+"""PageRank vector initialization (paper Section 4.2).
+
+* **Full initialization** — the classic uniform 1/|V_i| over the window's
+  active vertices.
+* **Partial initialization** (eq. 4) — warm-start window *i* from window
+  *i-1*'s converged vector:
+
+      PR_i[u] = (|V_i ∩ V_{i-1}| / |V_i|) * PR_{i-1}[u] / Σ_{v ∈ V_i ∩ V_{i-1}} PR_{i-1}[v]
+
+  for vertices present in both windows.  Vertices new in window *i* get the
+  uniform 1/|V_i|, so the initial vector sums to exactly 1.  Because two
+  consecutive overlapping windows share most vertices and edges, this
+  starts the power iteration close to the fixed point and cuts iteration
+  counts by the 1.5–3.5× the paper measures (Figure 6).
+
+Both windows must live in the *same* vertex index space (the same
+multi-window graph) — the paper explicitly skips partial initialization
+across multi-window boundaries because the compacted index spaces differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph.temporal_csr import WindowView
+
+__all__ = ["full_initialization", "partial_initialization"]
+
+
+def full_initialization(view: WindowView) -> np.ndarray:
+    """Uniform 1/|V_i| over the window's active vertices, 0 elsewhere."""
+    n_active = view.n_active_vertices
+    x = np.zeros(view.adjacency.n_vertices, dtype=np.float64)
+    if n_active:
+        x[view.active_vertices_mask] = 1.0 / n_active
+    return x
+
+
+def partial_initialization(
+    view: WindowView,
+    prev_view: WindowView,
+    prev_values: np.ndarray,
+) -> np.ndarray:
+    """Eq. 4 warm start of ``view`` from the previous window's solution.
+
+    Parameters
+    ----------
+    view, prev_view:
+        Window views over the **same** adjacency (same local vertex space).
+    prev_values:
+        Converged PageRank of ``prev_view`` in that space.
+
+    Falls back to full initialization when the windows share no vertices or
+    the previous mass on the shared set is numerically zero.
+    """
+    if view.adjacency is not prev_view.adjacency:
+        if view.adjacency.n_vertices != prev_view.adjacency.n_vertices:
+            raise ValidationError(
+                "partial initialization requires both windows in the same "
+                "vertex space (same multi-window graph)"
+            )
+    prev_values = np.asarray(prev_values, dtype=np.float64)
+    if prev_values.shape != (view.adjacency.n_vertices,):
+        raise ValidationError(
+            "prev_values must be a per-vertex vector in the shared space"
+        )
+
+    cur = view.active_vertices_mask
+    prev = prev_view.active_vertices_mask
+    shared = cur & prev
+    n_cur = view.n_active_vertices
+    n_shared = int(shared.sum())
+    if n_cur == 0:
+        return np.zeros(view.adjacency.n_vertices, dtype=np.float64)
+
+    shared_mass = float(prev_values[shared].sum())
+    if n_shared == 0 or shared_mass <= 0.0:
+        return full_initialization(view)
+
+    x = np.zeros(view.adjacency.n_vertices, dtype=np.float64)
+    scale = (n_shared / n_cur) / shared_mass
+    x[shared] = prev_values[shared] * scale
+    # vertices newly active in this window get the uniform share
+    x[cur & ~prev] = 1.0 / n_cur
+    return x

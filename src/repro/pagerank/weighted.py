@@ -1,0 +1,132 @@
+"""Event-frequency-weighted PageRank.
+
+The paper's model collapses event multiplicity: an edge either exists in a
+window or it does not.  But the multiplicity is information — five emails
+in the window arguably carry more endorsement than one.  This extension
+weights each window edge by its **event count within the window** and runs
+weighted PageRank:
+
+    PR(v) = α/|V_i| + (1−α) Σ_{(u,v)} PR(u) · w_i(u,v) / W_i(u)
+
+where ``w_i(u,v)`` is the number of (u, v) events inside window i and
+``W_i(u)`` the sum of u's outgoing window weights.
+
+The temporal CSR makes the weights nearly free: within a (row, neighbor)
+group the active events are contiguous, so the per-group count is a
+segment-count over *group runs* — the same O(nnz) vectorized machinery as
+the dedup mask.  No extra arrays are stored; weights are derived per
+window from the timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.graph.temporal_csr import TemporalCSR, WindowView
+from repro.pagerank.config import PagerankConfig
+from repro.pagerank.init import full_initialization
+from repro.pagerank.result import PagerankResult, WorkStats
+from repro.utils.segments import segment_sum
+
+__all__ = ["window_edge_weights", "pagerank_window_weighted"]
+
+
+def window_edge_weights(
+    csr: TemporalCSR, t_start: int, t_end: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-edge multiplicities for one window.
+
+    Returns ``(dedup_mask, weights)`` where ``weights[j]`` (only meaningful
+    at dedup positions) is the number of the group's events inside the
+    window.  Vectorized: group ids from a cumulative sum of group starts,
+    active counts per group via ``bincount``.
+    """
+    active = csr.active_mask(t_start, t_end)
+    dedup = csr.dedup_mask(t_start, t_end, active)
+    if csr.nnz == 0:
+        return dedup, np.zeros(0, dtype=np.float64)
+    group_ids = np.cumsum(csr.group_start) - 1
+    counts = np.bincount(
+        group_ids[active], minlength=int(group_ids[-1]) + 1
+    )
+    weights = np.zeros(csr.nnz, dtype=np.float64)
+    weights[dedup] = counts[group_ids[dedup]]
+    return dedup, weights
+
+
+def pagerank_window_weighted(
+    view: WindowView,
+    config: PagerankConfig = PagerankConfig(),
+    x0: Optional[np.ndarray] = None,
+) -> PagerankResult:
+    """Multiplicity-weighted PageRank for one window.
+
+    Same convergence/dangling semantics as the unweighted kernel; with all
+    multiplicities equal to 1 the two kernels coincide exactly (tested).
+    """
+    adjacency = view.adjacency
+    n = adjacency.n_vertices
+    n_active = view.n_active_vertices
+    if n_active == 0:
+        return PagerankResult(
+            values=np.zeros(n), iterations=0, converged=True, residual=0.0
+        )
+
+    ts, te = view.window.t_start, view.window.t_end
+    in_csr = adjacency.in_csr
+    dedup, weights = window_edge_weights(in_csr, ts, te)
+    col = in_csr.col
+
+    # weighted out-strength per source: sum of its outgoing edge weights
+    out_strength = np.zeros(n, dtype=np.float64)
+    np.add.at(out_strength, col[dedup], weights[dedup])
+    inv_strength = np.zeros(n, dtype=np.float64)
+    nz = out_strength > 0
+    inv_strength[nz] = 1.0 / out_strength[nz]
+
+    active_mask = view.active_vertices_mask
+    dangling = active_mask & ~nz
+
+    if x0 is None:
+        x = full_initialization(view)
+    else:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        if x.shape != (n,):
+            raise ValidationError(f"x0 must have shape ({n},)")
+
+    alpha = config.alpha
+    damping = config.damping
+    teleport = alpha / n_active
+    work = WorkStats()
+    residual = np.inf
+
+    for it in range(1, config.max_iterations + 1):
+        w = x * inv_strength
+        contrib = weights * np.where(dedup, w[col], 0.0)
+        y = segment_sum(contrib, in_csr.indptr)
+        y *= damping
+        if config.dangling == "uniform":
+            dangling_mass = float(x[dangling].sum())
+            if dangling_mass:
+                y[active_mask] += damping * dangling_mass / n_active
+        y[active_mask] += teleport
+        y[~active_mask] = 0.0
+
+        residual = float(np.abs(y - x).sum())
+        x = y
+        work.iterations += 1
+        work.edge_traversals += in_csr.nnz
+        work.active_edge_traversals += view.n_active_edges
+        work.vertex_ops += n_active
+        if residual < config.tolerance:
+            return PagerankResult(x, it, True, residual, work)
+
+    if config.strict:
+        raise ConvergenceError(
+            f"weighted kernel did not converge in {config.max_iterations} "
+            f"iterations"
+        )
+    return PagerankResult(x, config.max_iterations, False, residual, work)

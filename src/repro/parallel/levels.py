@@ -1,0 +1,425 @@
+"""Makespan estimation for the three parallelization levels (Section 4.3).
+
+Given *measured* per-window statistics from a real serial postmortem run
+(iteration counts with and without partial initialization, structure sizes,
+per-vertex row lengths), these estimators replay the work under the
+simulated P-core machine for:
+
+* **window-level** — windows grouped into granularity-sized contiguous
+  chunks; partial initialization survives only inside a chunk (the paper's
+  "same thread processes G_{i-1} and G_i" rule);
+* **application (PR)-level** — windows strictly in order, each window's
+  vertex loop parallelized; partial init everywhere except each
+  multi-window graph's first window;
+* **nested** — both, bounded by ``max(total_work / P, longest window
+  critical path)`` which greedy work stealing attains up to overheads.
+
+Both SpMV and SpMM kernels are supported; SpMM amortizes the structure
+traversal over its batch width and (per Section 4.4's region schedule)
+keeps partial initialization for all but the first batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.parallel.cost_model import CostModel
+from repro.parallel.partitioners import Partitioner, SIMPLE, chunk_ranges
+from repro.parallel.simulator import (
+    simulate_chunk_schedule,
+    simulate_parallel_for,
+)
+from repro.utils.segments import row_lengths as _row_lengths
+
+__all__ = [
+    "ParallelismLevel",
+    "MachineSpec",
+    "WindowStats",
+    "MultiWindowStats",
+    "PostmortemStats",
+    "collect_window_stats",
+    "estimate_makespan",
+]
+
+ParallelismLevel = str  # "window" | "application" | "nested"
+_LEVELS = ("window", "application", "nested")
+_KERNELS = ("spmv", "spmm")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The simulated target machine (paper: 2 × 24-core Cascade Lake)."""
+
+    n_workers: int = 48
+    name: str = "2x Xeon Gold 6248R (simulated)"
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValidationError("n_workers must be > 0")
+
+
+@dataclass
+class WindowStats:
+    """Measured statistics of one window's solve."""
+
+    window: int
+    mw_index: int
+    iterations_partial: int
+    iterations_full: int
+    active_edges: int
+    active_vertices: int
+
+
+@dataclass
+class MultiWindowStats:
+    """Structure statistics of one multi-window graph."""
+
+    index: int
+    first_window: int
+    n_windows: int
+    nnz: int
+    n_vertices: int
+    in_row_lengths: np.ndarray
+
+
+@dataclass
+class PostmortemStats:
+    """Everything the makespan estimators consume."""
+
+    n_windows: int
+    multiwindows: List[MultiWindowStats]
+    windows: List[WindowStats]
+    build_seconds: float = 0.0
+
+    def windows_of(self, mw_index: int) -> List[WindowStats]:
+        return [w for w in self.windows if w.mw_index == mw_index]
+
+
+def collect_window_stats(
+    events,
+    spec,
+    config=None,
+    n_multiwindows: int = 6,
+) -> PostmortemStats:
+    """Run the real postmortem solver twice (partial / full initialization)
+    and package the measured statistics for the simulator."""
+    from repro.models.postmortem import PostmortemDriver, PostmortemOptions
+    from repro.pagerank.config import PagerankConfig
+
+    config = config or PagerankConfig()
+    drv_partial = PostmortemDriver(
+        events,
+        spec,
+        config,
+        PostmortemOptions(n_multiwindows=n_multiwindows, partial_init=True),
+    )
+    run_partial = drv_partial.run(store_values=False)
+    drv_full = PostmortemDriver(
+        events,
+        spec,
+        config,
+        PostmortemOptions(n_multiwindows=n_multiwindows, partial_init=False),
+    )
+    run_full = drv_full.run(store_values=False)
+
+    partition = drv_partial.partition
+    mw_stats = [
+        MultiWindowStats(
+            index=i,
+            first_window=g.first_window,
+            n_windows=g.n_windows,
+            nnz=g.nnz,
+            n_vertices=g.n_local_vertices,
+            in_row_lengths=_row_lengths(g.adjacency.in_csr.indptr),
+        )
+        for i, g in enumerate(partition.graphs)
+    ]
+    owner = {w: partition.owner_of(w) for w in range(spec.n_windows)}
+    w_stats = [
+        WindowStats(
+            window=wp.window_index,
+            mw_index=owner[wp.window_index],
+            iterations_partial=wp.iterations,
+            iterations_full=wf.iterations,
+            active_edges=wp.n_active_edges,
+            active_vertices=wp.n_active_vertices,
+        )
+        for wp, wf in zip(run_partial.windows, run_full.windows)
+    ]
+    return PostmortemStats(
+        n_windows=spec.n_windows,
+        multiwindows=mw_stats,
+        windows=w_stats,
+        build_seconds=run_partial.timings.totals.get("build", 0.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# per-window serial costs and vertex-loop item costs
+# ----------------------------------------------------------------------
+
+def _effective_k(vector_length: int, mw: MultiWindowStats) -> int:
+    return max(1, min(vector_length, mw.n_windows))
+
+
+def _window_serial_cost(
+    w: WindowStats,
+    mw: MultiWindowStats,
+    model: CostModel,
+    kernel: str,
+    vector_length: int,
+    full_init: bool,
+) -> float:
+    iters = w.iterations_full if full_init else w.iterations_partial
+    if kernel == "spmv":
+        return model.spmv_window_cost(mw.nnz, mw.n_vertices, iters)
+    return model.spmm_window_cost(
+        mw.nnz,
+        mw.n_vertices,
+        _effective_k(vector_length, mw),
+        iters,
+        w.active_edges,
+    )
+
+
+def _vertex_item_costs(
+    stats: PostmortemStats,
+    mw: MultiWindowStats,
+    model: CostModel,
+    kernel: str,
+    vector_length: int,
+) -> np.ndarray:
+    """Per-local-vertex cost of one vertex-loop iteration over ``mw``."""
+    if kernel == "spmv":
+        return model.c_edge * mw.in_row_lengths + model.c_vertex
+    k = _effective_k(vector_length, mw)
+    wins = stats.windows_of(mw.index)
+    phi = (
+        float(np.mean([w.active_edges for w in wins])) / max(mw.nnz, 1)
+        if wins
+        else 1.0
+    )
+    return (
+        model.c_edge * mw.in_row_lengths
+        + model.c_active * mw.in_row_lengths * phi * k
+        + model.c_vertex * k
+    )
+
+
+def _chunk_head_mask(
+    n_windows: int,
+    granularity: int,
+    mw_firsts: Sequence[int],
+) -> np.ndarray:
+    """Which windows lose partial initialization under window-level
+    chunking: the first window of each granularity-chunk, and the first
+    window of each multi-window graph (its predecessor lives in a different
+    index space)."""
+    heads = np.zeros(n_windows, dtype=bool)
+    heads[::granularity] = True
+    for f in mw_firsts:
+        heads[f] = True
+    return heads
+
+
+def _chunk_costs(
+    item_costs: np.ndarray,
+    granularity: int,
+    partitioner: Partitioner,
+    n_workers: int,
+) -> np.ndarray:
+    ranges = chunk_ranges(item_costs.size, granularity, partitioner, n_workers)
+    csum = np.concatenate([[0.0], np.cumsum(item_costs)])
+    lo = np.array([a for a, _ in ranges], dtype=np.int64)
+    hi = np.array([b for _, b in ranges], dtype=np.int64)
+    return csum[hi] - csum[lo]
+
+
+# ----------------------------------------------------------------------
+# level estimators
+# ----------------------------------------------------------------------
+
+def _estimate_window_level(
+    stats: PostmortemStats,
+    machine: MachineSpec,
+    model: CostModel,
+    partitioner: Partitioner,
+    granularity: int,
+    kernel: str,
+    vector_length: int,
+) -> float:
+    mw_by_index = {m.index: m for m in stats.multiwindows}
+    mw_firsts = [m.first_window for m in stats.multiwindows]
+    heads = _chunk_head_mask(stats.n_windows, granularity, mw_firsts)
+
+    costs = np.empty(stats.n_windows, dtype=np.float64)
+    for w in stats.windows:
+        costs[w.window] = _window_serial_cost(
+            w,
+            mw_by_index[w.mw_index],
+            model,
+            kernel,
+            vector_length,
+            full_init=bool(heads[w.window]),
+        )
+    return simulate_parallel_for(
+        costs, granularity, partitioner, machine.n_workers, model
+    )
+
+
+def _estimate_application_level(
+    stats: PostmortemStats,
+    machine: MachineSpec,
+    model: CostModel,
+    partitioner: Partitioner,
+    granularity: int,
+    kernel: str,
+    vector_length: int,
+) -> float:
+    # one vertex-loop region makespan per multi-window graph (identical
+    # across that graph's windows: the structure is shared)
+    regions: Dict[int, float] = {}
+    for m in stats.multiwindows:
+        item_costs = _vertex_item_costs(
+            stats, m, model, kernel, vector_length
+        )
+        regions[m.index] = simulate_parallel_for(
+            item_costs, granularity, partitioner, machine.n_workers, model
+        )
+
+    mw_firsts = {m.first_window for m in stats.multiwindows}
+    total = 0.0
+    if kernel == "spmv":
+        for w in stats.windows:
+            iters = (
+                w.iterations_full
+                if w.window in mw_firsts
+                else w.iterations_partial
+            )
+            total += iters * regions[w.mw_index]
+    else:
+        # the region schedule batches k windows per pass; one batched
+        # region advances all k columns, so a batch pays the max of its
+        # columns' iteration counts (converged columns ride along).
+        from repro.models.schedule import spmm_region_schedule
+
+        for m in stats.multiwindows:
+            wmap = {w.window: w for w in stats.windows_of(m.index)}
+            batches = spmm_region_schedule(
+                m.first_window, m.n_windows, vector_length
+            )
+            for batch in batches:
+                iters = 0
+                for w_idx, pred in zip(batch.windows, batch.predecessors):
+                    w = wmap[w_idx]
+                    iters = max(
+                        iters,
+                        w.iterations_full
+                        if pred is None
+                        else w.iterations_partial,
+                    )
+                total += iters * regions[m.index]
+    return total
+
+
+def _estimate_nested(
+    stats: PostmortemStats,
+    machine: MachineSpec,
+    model: CostModel,
+    partitioner: Partitioner,
+    granularity: int,
+    kernel: str,
+    vector_length: int,
+) -> float:
+    mw_by_index = {m.index: m for m in stats.multiwindows}
+    mw_firsts = {m.first_window for m in stats.multiwindows}
+
+    # per-graph inner-loop chunking under this partitioner
+    max_chunk: Dict[int, float] = {}
+    n_chunks: Dict[int, int] = {}
+    for m in stats.multiwindows:
+        item_costs = _vertex_item_costs(
+            stats, m, model, kernel, vector_length
+        )
+        ccosts = _chunk_costs(
+            item_costs, granularity, partitioner, machine.n_workers
+        )
+        max_chunk[m.index] = float(ccosts.max()) if ccosts.size else 0.0
+        n_chunks[m.index] = max(len(ccosts), 1)
+
+    serial_costs = np.empty(stats.n_windows, dtype=np.float64)
+    critical = np.empty(stats.n_windows, dtype=np.float64)
+    total_chunks = 0.0
+    for w in stats.windows:
+        m = mw_by_index[w.mw_index]
+        full = w.window in mw_firsts
+        iters = w.iterations_full if full else w.iterations_partial
+        serial_costs[w.window] = _window_serial_cost(
+            w, m, model, kernel, vector_length, full_init=full
+        )
+        total_chunks += iters * n_chunks[m.index]
+        critical[w.window] = iters * (max_chunk[m.index] + model.c_region)
+
+    if not partitioner.steals:
+        # no rebalancing: every worker executes a statically-dealt
+        # *contiguous* block of windows (TBB static_partitioner semantics);
+        # with time-skewed loads the block holding the heavy windows
+        # dominates the makespan
+        from repro.parallel.partitioners import contiguous_blocks
+
+        blocks = contiguous_blocks(stats.n_windows, machine.n_workers)
+        csum = np.concatenate([[0.0], np.cumsum(serial_costs)])
+        block_costs = [csum[hi] - csum[lo] for lo, hi in blocks]
+        return max(block_costs) + model.c_task * len(blocks) + model.c_region
+
+    total_work = float(serial_costs.sum())
+    overhead = model.c_task * total_chunks / machine.n_workers
+    lower = total_work / machine.n_workers + overhead
+    return max(lower, float(critical.max())) + model.c_region
+
+
+def estimate_makespan(
+    stats: PostmortemStats,
+    machine: MachineSpec = MachineSpec(),
+    model: Optional[CostModel] = None,
+    level: ParallelismLevel = "nested",
+    partitioner: Partitioner = SIMPLE,
+    granularity: int = 1,
+    kernel: str = "spmv",
+    vector_length: int = 16,
+) -> float:
+    """Simulated wall-clock (seconds) of the postmortem computation under
+    the requested parallel configuration — the quantity Figures 7–10 sweep.
+
+    Includes the (real, measured) one-time representation build time.
+    """
+    if level not in _LEVELS:
+        raise ValidationError(f"level must be one of {_LEVELS}, got {level!r}")
+    if kernel not in _KERNELS:
+        raise ValidationError(
+            f"kernel must be one of {_KERNELS}, got {kernel!r}"
+        )
+    if granularity <= 0:
+        raise ValidationError("granularity must be > 0")
+    model = model or CostModel()
+
+    if level == "window":
+        compute = _estimate_window_level(
+            stats, machine, model, partitioner, granularity, kernel,
+            vector_length,
+        )
+    elif level == "application":
+        compute = _estimate_application_level(
+            stats, machine, model, partitioner, granularity, kernel,
+            vector_length,
+        )
+    else:
+        compute = _estimate_nested(
+            stats, machine, model, partitioner, granularity, kernel,
+            vector_length,
+        )
+    return compute + stats.build_seconds

@@ -1,0 +1,131 @@
+"""TBB-style range partitioners (paper Section 6.3.2).
+
+TBB's ``parallel_for`` over a range ``[0, N)`` with grainsize ``g`` behaves
+differently per partitioner:
+
+* ``simple_partitioner`` — recursively split all the way down to chunks of
+  at most ``g`` items; every leaf is a stealable task.
+* ``auto_partitioner`` — split adaptively: enough initial chunks to feed
+  the workers (about 4 per worker), splitting further only when chunks get
+  stolen, but never below ``g``.
+* ``static_partitioner`` — deal contiguous blocks to workers up front, no
+  stealing.
+
+These helpers produce the concrete chunk boundaries each strategy creates;
+both the real executors and the simulated machine consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Partitioner",
+    "AUTO",
+    "SIMPLE",
+    "STATIC",
+    "chunk_ranges",
+    "contiguous_blocks",
+    "round_robin_owner",
+]
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """A named chunking strategy.
+
+    ``initial_split_factor`` — how many chunks per worker the strategy
+    creates before any stealing (TBB's auto starts near 4 per worker).
+    ``steals`` — whether idle workers may steal.
+    """
+
+    name: str
+    steals: bool
+    initial_split_factor: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partitioner({self.name})"
+
+
+AUTO = Partitioner(name="auto", steals=True, initial_split_factor=4)
+SIMPLE = Partitioner(name="simple", steals=True, initial_split_factor=0)
+STATIC = Partitioner(name="static", steals=False, initial_split_factor=1)
+
+_BY_NAME = {p.name: p for p in (AUTO, SIMPLE, STATIC)}
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Look a partitioner up by name (``auto`` / ``simple`` / ``static``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown partitioner {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def chunk_ranges(
+    n_items: int,
+    granularity: int,
+    partitioner: Partitioner = SIMPLE,
+    n_workers: int = 1,
+) -> List[Tuple[int, int]]:
+    """Chunk boundaries ``[(lo, hi), ...]`` a partitioner produces over
+    ``[0, n_items)``.
+
+    * simple: chunks of exactly ``granularity`` (last one smaller);
+    * auto: chunk size ``max(granularity, ceil(N / (factor * P)))`` —
+      adaptive splitting modelled at its steady state;
+    * static: ``min(P, ceil(N / granularity))`` contiguous blocks.
+    """
+    if n_items < 0:
+        raise ValidationError("n_items must be >= 0")
+    if granularity <= 0:
+        raise ValidationError("granularity must be > 0")
+    if n_workers <= 0:
+        raise ValidationError("n_workers must be > 0")
+    if n_items == 0:
+        return []
+
+    if partitioner.name == "simple":
+        size = granularity
+    elif partitioner.name == "auto":
+        target = -(-n_items // (partitioner.initial_split_factor * n_workers))
+        size = max(granularity, target)
+    elif partitioner.name == "static":
+        blocks = min(n_workers, -(-n_items // granularity))
+        return contiguous_blocks(n_items, max(blocks, 1))
+    else:  # pragma: no cover - defensive
+        raise ValidationError(f"unknown partitioner {partitioner.name!r}")
+
+    bounds = list(range(0, n_items, size)) + [n_items]
+    return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+
+
+def contiguous_blocks(n_items: int, n_blocks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, n_items)`` into ``n_blocks`` near-equal contiguous
+    blocks (the first ``n_items % n_blocks`` get one extra)."""
+    if n_blocks <= 0:
+        raise ValidationError("n_blocks must be > 0")
+    n_blocks = min(n_blocks, n_items) or 1
+    base = n_items // n_blocks
+    extra = n_items % n_blocks
+    out = []
+    lo = 0
+    for b in range(n_blocks):
+        hi = lo + base + (1 if b < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def round_robin_owner(n_chunks: int, n_workers: int) -> np.ndarray:
+    """Static round-robin chunk → worker assignment."""
+    if n_workers <= 0:
+        raise ValidationError("n_workers must be > 0")
+    return np.arange(n_chunks, dtype=np.int64) % n_workers

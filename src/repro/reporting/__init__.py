@@ -1,0 +1,23 @@
+"""Plain-text rendering of tables, series and heatmaps.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers render them as aligned ASCII so benchmark
+output is directly readable in a terminal and diffable in EXPERIMENTS.md.
+"""
+
+from repro.reporting.tables import format_table, format_kv
+from repro.reporting.report import generate_report
+from repro.reporting.figures import (
+    format_series,
+    format_heatmap,
+    format_bar_chart,
+)
+
+__all__ = [
+    "format_table",
+    "format_kv",
+    "format_series",
+    "format_heatmap",
+    "format_bar_chart",
+    "generate_report",
+]

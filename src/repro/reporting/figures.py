@@ -1,0 +1,86 @@
+"""Plain-text renderings of the paper's figure types: labelled series
+(Figures 6–10), heatmaps (Figures 11–12) and bar groups (Figure 5)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.reporting.tables import format_table
+
+__all__ = ["format_series", "format_heatmap", "format_bar_chart"]
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render named series over shared x values as a table (one row per x,
+    one column per series) — the textual form of a multi-line figure."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValidationError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append(
+            [x] + [round(float(series[name][i]), precision) for name in series]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    row_title: str = "",
+    col_title: str = "",
+    title: Optional[str] = None,
+    precision: int = 0,
+) -> str:
+    """Render a 2-D grid in the paper's Figure 11 orientation: one row per
+    window size, one column per sliding offset."""
+    grid = np.asarray(grid)
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValidationError(
+            f"grid shape {grid.shape} != labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    corner = f"{row_title}\\{col_title}" if (row_title or col_title) else ""
+    headers = [corner] + [str(c) for c in col_labels]
+    rows = []
+    for i, rl in enumerate(row_labels):
+        rows.append(
+            [rl] + [round(float(grid[i, j]), precision) for j in range(grid.shape[1])]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars, longest bar = ``width`` chars (Figure 5
+    style: one bar per execution model)."""
+    if not values:
+        return title or ""
+    vmax = max(abs(v) for v in values.values()) or 1.0
+    name_w = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for k, v in values.items():
+        bar = "#" * max(1, int(round(width * abs(v) / vmax)))
+        lines.append(f"{k.ljust(name_w)} | {bar} {v:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Aligned ASCII tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a column-aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [30, 4]]))
+    a   b
+    --  ---
+    1   2.5
+    30  4
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValidationError(
+                f"row width {len(r)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a mapping as aligned ``key: value`` lines."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_cell(v)}")
+    return "\n".join(lines)

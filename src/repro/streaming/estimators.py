@@ -1,0 +1,185 @@
+"""Streaming estimators from the paper's related work (Section 3.2).
+
+Two sampling estimators the paper cites as prior art on dynamic graphs,
+implemented over the same event stream the streaming model consumes:
+
+* :class:`HeadTailDegreeEstimator` — Stolman & Matulef's HyperHeadTail
+  idea: estimate the degree distribution of a streamed multigraph by
+  tracking a uniform sample of vertices exactly (the "head" resolves the
+  low-degree mass, which dominates power-law graphs) while a
+  reservoir-style tail sample catches high-degree vertices.  This
+  implementation keeps an exact per-vertex counter for a sampled vertex
+  subset and scales up — the estimator's core accuracy/memory tradeoff.
+* :class:`EdgeSampleTriangleCounter` — Han & Sethu's edge
+  sample-and-discard scheme: keep each streamed edge in a fixed-size
+  uniform reservoir; on arrival of an edge, count the triangles it closes
+  with reservoir edges and scale by the inverse sampling probability of
+  the two reservoir slots.
+
+Both support the window model through :meth:`reset` (re-arm for a new
+window) and are validated against exact computations in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["HeadTailDegreeEstimator", "EdgeSampleTriangleCounter"]
+
+
+class HeadTailDegreeEstimator:
+    """Degree-distribution estimation from an edge stream by vertex
+    sampling.
+
+    Parameters
+    ----------
+    n_vertices:
+        Vertex-id space of the stream.
+    sample_rate:
+        Fraction of vertices tracked exactly (the "head" sample).
+    seed:
+        Sampling seed (the vertex sample is fixed per instance).
+    """
+
+    def __init__(
+        self, n_vertices: int, sample_rate: float = 0.2, seed: int = 0
+    ) -> None:
+        if n_vertices <= 0:
+            raise ValidationError("n_vertices must be > 0")
+        if not (0.0 < sample_rate <= 1.0):
+            raise ValidationError("sample_rate must be in (0, 1]")
+        self.n_vertices = n_vertices
+        self.sample_rate = float(sample_rate)
+        rng = np.random.default_rng(seed)
+        k = max(1, int(round(n_vertices * sample_rate)))
+        self._sampled = np.zeros(n_vertices, dtype=bool)
+        self._sampled[rng.choice(n_vertices, size=k, replace=False)] = True
+        self._k = k
+        self._degree = np.zeros(n_vertices, dtype=np.int64)
+        self.edges_seen = 0
+
+    def reset(self) -> None:
+        """Clear the counters for a new window (sample stays fixed)."""
+        self._degree[:] = 0
+        self.edges_seen = 0
+
+    def observe_batch(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Consume a batch of streamed (src, dst) edges."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.size != dst.size:
+            raise ValidationError("batch arrays must have equal length")
+        hit_s = self._sampled[src]
+        hit_d = self._sampled[dst]
+        np.add.at(self._degree, src[hit_s], 1)
+        np.add.at(self._degree, dst[hit_d], 1)
+        self.edges_seen += src.size
+
+    def estimate_distribution(self, max_degree: Optional[int] = None):
+        """Estimated counts of vertices per (undirected multigraph)
+        degree, scaled up by the inverse sampling rate.
+
+        Returns ``(degrees, estimated_counts)``.
+        """
+        deg = self._degree[self._sampled]
+        if max_degree is None:
+            max_degree = int(deg.max()) if deg.size else 0
+        hist = np.bincount(
+            np.minimum(deg, max_degree), minlength=max_degree + 1
+        ).astype(np.float64)
+        scale = self.n_vertices / self._k
+        return np.arange(max_degree + 1), hist * scale
+
+    def estimate_mean_degree(self) -> float:
+        """Estimated mean (multigraph) degree over all vertices."""
+        deg = self._degree[self._sampled]
+        return float(deg.mean()) if deg.size else 0.0
+
+
+class EdgeSampleTriangleCounter:
+    """Triangle counting from an edge stream with a fixed-size reservoir.
+
+    The classic reservoir-sampling estimator: edge t is kept with
+    probability ``min(1, capacity / t)``; the count of triangles the
+    incoming edge closes with two reservoir edges, weighted by the inverse
+    probability that both wedge edges survived, is an unbiased estimate of
+    the triangles the incoming edge closes in the full stream.
+    """
+
+    def __init__(self, capacity: int = 1_000, seed: int = 0) -> None:
+        if capacity < 2:
+            raise ValidationError("capacity must be >= 2")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear reservoir and estimate for a new window."""
+        self._adjacency: Dict[int, set] = {}
+        self._slots: list[Tuple[int, int]] = []
+        self._t = 0
+        self.estimate = 0.0
+
+    def _survival_prob(self) -> float:
+        t = self._t
+        if t <= self.capacity:
+            return 1.0
+        return self.capacity / t
+
+    def _add_edge(self, u: int, v: int) -> None:
+        self._adjacency.setdefault(u, set()).add(v)
+        self._adjacency.setdefault(v, set()).add(u)
+        self._slots.append((u, v))
+
+    def _remove_slot(self, index: int) -> None:
+        u, v = self._slots[index]
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        last = self._slots.pop()
+        if index < len(self._slots):
+            self._slots[index] = last
+
+    def observe(self, u: int, v: int) -> None:
+        """Consume one streamed (undirected) edge."""
+        if u == v:
+            return
+        self._t += 1
+        # count wedges closed with reservoir edges, inverse-weighted by
+        # the probability both wedge edges are present
+        nbr_u = self._adjacency.get(u, ())
+        nbr_v = self._adjacency.get(v, ())
+        common = (
+            len(set(nbr_u) & set(nbr_v))
+            if nbr_u and nbr_v
+            else 0
+        )
+        if common:
+            p = self._survival_prob()
+            self.estimate += common / (p * p)
+
+        # reservoir update
+        if len(self._slots) < self.capacity:
+            self._add_edge(u, v)
+        else:
+            j = int(self._rng.integers(0, self._t))
+            if j < self.capacity:
+                self._remove_slot(j)
+                self._add_edge(u, v)
+
+    def observe_batch(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Consume a batch of streamed edges in order."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.size != dst.size:
+            raise ValidationError("batch arrays must have equal length")
+        for u, v in zip(src.tolist(), dst.tolist()):
+            self.observe(u, v)
+
+    @property
+    def triangles(self) -> float:
+        """Current triangle-count estimate."""
+        return self.estimate

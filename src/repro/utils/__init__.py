@@ -1,0 +1,45 @@
+"""Low-level helpers shared across the library.
+
+The modules here implement the vectorization primitives recommended by the
+HPC-Python guides (segment reductions via ``reduceat``, contiguous views,
+no Python-level edge loops) plus small timing/validation utilities.
+"""
+
+from repro.utils.segments import (
+    segment_sum,
+    segment_count,
+    segment_max,
+    segment_min,
+    row_lengths,
+    lengths_to_indptr,
+    indptr_to_row_ids,
+)
+from repro.utils.timer import Timer, TimingAccumulator
+from repro.utils.validation import (
+    check_1d_int,
+    check_1d_float,
+    check_same_length,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_sorted,
+)
+
+__all__ = [
+    "segment_sum",
+    "segment_count",
+    "segment_max",
+    "segment_min",
+    "row_lengths",
+    "lengths_to_indptr",
+    "indptr_to_row_ids",
+    "Timer",
+    "TimingAccumulator",
+    "check_1d_int",
+    "check_1d_float",
+    "check_same_length",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_sorted",
+]

@@ -1,0 +1,155 @@
+"""Vectorized segment reductions over CSR-style index pointers.
+
+A *segment* is the half-open slice ``values[indptr[i]:indptr[i+1]]``.  These
+reductions are the core primitive behind every SpMV/SpMM kernel in the
+library: one PageRank iteration is exactly ``segment_sum`` of per-edge
+contributions grouped by destination vertex.
+
+``np.add.reduceat`` is the fastest pure-NumPy way to do this, but it has a
+well-known wart: for an empty segment it *returns the element at the start
+index* instead of the reduction identity, and it cannot handle a start index
+equal to ``len(values)``.  :func:`segment_sum` repairs both cases so callers
+get mathematically correct results for arbitrary (possibly empty, possibly
+trailing-empty) segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "segment_sum",
+    "segment_count",
+    "segment_max",
+    "segment_min",
+    "row_lengths",
+    "lengths_to_indptr",
+    "indptr_to_row_ids",
+]
+
+
+def _check_indptr(indptr: np.ndarray, n_values: int) -> np.ndarray:
+    indptr = np.asarray(indptr)
+    if indptr.ndim != 1 or indptr.size == 0:
+        raise ValidationError("indptr must be a non-empty 1-D array")
+    if indptr[0] != 0:
+        raise ValidationError(f"indptr[0] must be 0, got {indptr[0]}")
+    if indptr[-1] != n_values:
+        raise ValidationError(
+            f"indptr[-1] ({indptr[-1]}) must equal len(values) ({n_values})"
+        )
+    if np.any(np.diff(indptr) < 0):
+        raise ValidationError("indptr must be non-decreasing")
+    return indptr
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Sum ``values`` within each CSR segment.
+
+    Parameters
+    ----------
+    values:
+        1-D array of length ``nnz``, or 2-D ``(nnz, k)`` array in which case
+        each column is reduced independently (the SpMM case).
+    indptr:
+        CSR index pointer of length ``n_segments + 1`` with
+        ``indptr[0] == 0`` and ``indptr[-1] == nnz``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_segments,)`` or ``(n_segments, k)`` array of per-segment sums;
+        empty segments sum to exactly ``0``.
+    """
+    values = np.asarray(values)
+    indptr = _check_indptr(indptr, values.shape[0])
+    n_seg = indptr.size - 1
+    if n_seg == 0:
+        return np.zeros((0,) + values.shape[1:], dtype=values.dtype)
+    if values.shape[0] == 0:
+        return np.zeros((n_seg,) + values.shape[1:], dtype=values.dtype)
+
+    # reduceat over only the non-empty segments: consecutive non-empty
+    # starts are exactly those segments' boundaries (empty segments have
+    # start == end, so skipping them leaves the spans intact).  This also
+    # avoids reduceat's inability to take a start index == len(values).
+    nonempty = indptr[:-1] < indptr[1:]
+    out = np.zeros((n_seg,) + values.shape[1:], dtype=values.dtype)
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(
+            values, indptr[:-1][nonempty], axis=0
+        )
+    return out
+
+
+def segment_count(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Count ``True`` entries of a boolean ``mask`` within each segment."""
+    mask = np.asarray(mask)
+    if mask.dtype != np.bool_:
+        raise ValidationError("segment_count expects a boolean mask")
+    return segment_sum(mask.astype(np.int64), indptr)
+
+
+def segment_max(values: np.ndarray, indptr: np.ndarray, empty_value=0):
+    """Per-segment maximum; empty segments get ``empty_value``."""
+    values = np.asarray(values)
+    indptr = _check_indptr(indptr, values.shape[0])
+    n_seg = indptr.size - 1
+    out = np.full((n_seg,) + values.shape[1:], empty_value, dtype=values.dtype)
+    if values.shape[0] == 0 or n_seg == 0:
+        return out
+    nonempty = indptr[:-1] < indptr[1:]
+    if nonempty.any():
+        out[nonempty] = np.maximum.reduceat(
+            values, indptr[:-1][nonempty], axis=0
+        )
+    return out
+
+
+def segment_min(values: np.ndarray, indptr: np.ndarray, empty_value=0):
+    """Per-segment minimum; empty segments get ``empty_value``."""
+    values = np.asarray(values)
+    indptr = _check_indptr(indptr, values.shape[0])
+    n_seg = indptr.size - 1
+    out = np.full((n_seg,) + values.shape[1:], empty_value, dtype=values.dtype)
+    if values.shape[0] == 0 or n_seg == 0:
+        return out
+    nonempty = indptr[:-1] < indptr[1:]
+    if nonempty.any():
+        out[nonempty] = np.minimum.reduceat(
+            values, indptr[:-1][nonempty], axis=0
+        )
+    return out
+
+
+def row_lengths(indptr: np.ndarray) -> np.ndarray:
+    """Segment lengths ``indptr[i+1] - indptr[i]``."""
+    indptr = np.asarray(indptr)
+    if indptr.ndim != 1 or indptr.size == 0:
+        raise ValidationError("indptr must be a non-empty 1-D array")
+    return np.diff(indptr)
+
+
+def lengths_to_indptr(lengths: np.ndarray) -> np.ndarray:
+    """Build a CSR index pointer from per-segment lengths."""
+    lengths = np.asarray(lengths)
+    if lengths.ndim != 1:
+        raise ValidationError("lengths must be 1-D")
+    if lengths.size and lengths.min() < 0:
+        raise ValidationError("lengths must be non-negative")
+    indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    return indptr
+
+
+def indptr_to_row_ids(indptr: np.ndarray) -> np.ndarray:
+    """Expand a CSR index pointer into a per-entry row-id array.
+
+    The inverse of grouping: ``row_ids[j] == i`` iff entry ``j`` lies in
+    segment ``i``.  Vectorized via ``np.repeat``.
+    """
+    indptr = np.asarray(indptr)
+    lengths = row_lengths(indptr)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)

@@ -1,0 +1,86 @@
+"""Argument-validation helpers.
+
+Every public entry point validates its inputs once at the boundary and then
+trusts them internally, keeping the hot kernels free of per-call checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_1d_int",
+    "check_1d_float",
+    "check_same_length",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_sorted",
+]
+
+
+def check_1d_int(arr, name: str) -> np.ndarray:
+    """Coerce to a contiguous 1-D int64 array, rejecting floats with
+    fractional parts."""
+    out = np.ascontiguousarray(arr)
+    if out.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {out.shape}")
+    if not np.issubdtype(out.dtype, np.integer):
+        if np.issubdtype(out.dtype, np.floating):
+            if out.size and not np.all(np.mod(out, 1) == 0):
+                raise ValidationError(f"{name} must contain integers")
+        else:
+            raise ValidationError(f"{name} must be an integer array")
+    return out.astype(np.int64, copy=False)
+
+
+def check_1d_float(arr, name: str) -> np.ndarray:
+    """Coerce to a contiguous 1-D float64 array."""
+    out = np.ascontiguousarray(arr, dtype=np.float64)
+    if out.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {out.shape}")
+    return out
+
+
+def check_same_length(*pairs) -> None:
+    """``check_same_length((a, 'a'), (b, 'b'))`` -> raise unless equal len."""
+    if not pairs:
+        return
+    ref_arr, ref_name = pairs[0]
+    for arr, name in pairs[1:]:
+        if len(arr) != len(ref_arr):
+            raise ValidationError(
+                f"{name} (len {len(arr)}) must match {ref_name} "
+                f"(len {len(ref_arr)})"
+            )
+
+
+def check_nonnegative(value, name: str):
+    """Raise unless ``value >= 0``; returns the value."""
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_positive(value, name: str):
+    """Raise unless ``value > 0``; returns the value."""
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise unless ``value`` lies in [0, 1]; returns it as float."""
+    if not (0.0 <= value <= 1.0):
+        raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_sorted(arr: np.ndarray, name: str) -> np.ndarray:
+    """Raise unless ``arr`` is sorted non-decreasingly; returns it."""
+    arr = np.asarray(arr)
+    if arr.size > 1 and np.any(np.diff(arr) < 0):
+        raise ValidationError(f"{name} must be sorted in non-decreasing order")
+    return arr

@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic event sets and solver configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import TemporalEventSet, WindowSpec
+from repro.graph import TemporalAdjacency
+from repro.pagerank import PagerankConfig
+
+
+def random_events(
+    n_vertices: int = 40,
+    n_events: int = 400,
+    t_max: int = 10_000,
+    seed: int = 0,
+    allow_self_loops: bool = False,
+) -> TemporalEventSet:
+    """A reproducible random event set for unit tests."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_vertices, n_events)
+    dst = rng.integers(0, n_vertices, n_events)
+    if not allow_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    time = np.sort(rng.integers(0, t_max, src.size))
+    return TemporalEventSet(src, dst, time, n_vertices=n_vertices)
+
+
+@pytest.fixture
+def events():
+    return random_events()
+
+
+@pytest.fixture
+def small_events():
+    return random_events(n_vertices=12, n_events=60, t_max=1_000, seed=3)
+
+
+@pytest.fixture
+def spec(events):
+    return WindowSpec.covering(events, delta=3_000, sw=1_000)
+
+
+@pytest.fixture
+def adjacency(events):
+    return TemporalAdjacency.from_events(events)
+
+
+@pytest.fixture
+def config():
+    """Tight-tolerance config so cross-implementation comparisons are
+    meaningful."""
+    return PagerankConfig(tolerance=1e-12, max_iterations=300)
+
+
+@pytest.fixture
+def paper_example_events():
+    """The exact 14-event temporal edge list of the paper's Figure 2a,
+    with dates mapped to day numbers (day 0 = 2021-06-01).
+
+    Vertices are 1..7 in the paper; kept as-is (vertex 0 unused).
+    """
+    rows = [
+        (1, 2, 20),   # 06/21/2021
+        (3, 5, 24),   # 06/25/2021
+        (4, 6, 40),   # 07/11/2021
+        (2, 3, 61),   # 08/01/2021
+        (2, 4, 71),   # 08/11/2021
+        (5, 6, 104),  # 09/13/2021
+        (2, 7, 123),  # 10/02/2021
+        (4, 7, 126),  # 10/05/2021
+        (5, 7, 127),  # 10/06/2021
+        (6, 7, 130),  # 10/09/2021
+        (1, 2, 157),  # 11/05/2021
+        (1, 3, 158),  # 11/06/2021
+        (2, 5, 161),  # 11/09/2021
+        (3, 5, 164),  # 11/12/2021
+    ]
+    src = [r[0] for r in rows]
+    dst = [r[1] for r in rows]
+    t = [r[2] for r in rows]
+    return TemporalEventSet(src, dst, t, n_vertices=8)

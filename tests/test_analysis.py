@@ -1,0 +1,129 @@
+"""Unit tests for analysis helpers (edge distributions, comparisons,
+metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_models,
+    distribution_summary,
+    edge_distribution,
+    l1_distance,
+    spearman_rank_correlation,
+    speedup_grid,
+    topk_overlap,
+)
+from repro.errors import EmptyEventSetError, ValidationError
+from repro.events import TemporalEventSet, WindowSpec
+from repro.pagerank import PagerankConfig
+from tests.conftest import random_events
+
+
+class TestEdgeDistribution:
+    def test_counts_sum_to_events(self, events):
+        _, counts = edge_distribution(events, n_bins=20)
+        assert counts.sum() == len(events)
+
+    def test_bin_count(self, events):
+        starts, counts = edge_distribution(events, n_bins=13)
+        assert starts.size == 13 and counts.size == 13
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyEventSetError):
+            edge_distribution(TemporalEventSet([], [], []))
+
+    def test_summary_fields(self, events):
+        s = distribution_summary(events)
+        assert s.peak_to_mean >= 1.0
+        assert 0.0 <= s.gini <= 1.0
+        assert -1.0 <= s.trend <= 1.0
+        assert s.shape_class in ("spike", "growth", "bursty", "steady")
+
+    def test_uniform_distribution_summary(self):
+        # perfectly regular events -> near-zero gini, steady class
+        t = np.arange(1_000)
+        es = TemporalEventSet(
+            np.zeros(1_000, dtype=int), np.ones(1_000, dtype=int), t
+        )
+        s = distribution_summary(es, n_bins=10)
+        assert s.gini < 0.05
+        assert s.peak_to_mean < 1.2
+
+
+class TestCompareModels:
+    def test_timings_and_agreement(self):
+        events = random_events(n_vertices=25, n_events=400, seed=95)
+        spec = WindowSpec.covering(events, delta=3_000, sw=1_500)
+        cfg = PagerankConfig(tolerance=1e-11, max_iterations=300)
+        t = compare_models(events, spec, cfg, check_agreement=True)
+        assert t.offline_seconds > 0
+        assert t.streaming_seconds > 0
+        assert t.postmortem_seconds > 0
+        assert t.n_windows == spec.n_windows
+        assert t.postmortem_vs_streaming == pytest.approx(
+            t.streaming_seconds / t.postmortem_seconds
+        )
+        assert set(t.phase_breakdown) == {"offline", "streaming", "postmortem"}
+
+
+class TestSpeedupGrid:
+    def test_grid_shape_and_values(self):
+        events = random_events(n_vertices=20, n_events=300, t_max=40 * 86_400,
+                               seed=96)
+        calls = []
+
+        def fake_speedup(spec):
+            calls.append((spec.sw, spec.delta))
+            return float(spec.n_windows)
+
+        grid, sws, wss = speedup_grid(
+            events, [86_400, 2 * 86_400], [5, 10], fake_speedup
+        )
+        assert grid.shape == (2, 2)
+        assert len(calls) == 4
+        assert np.all(grid > 0)
+
+    def test_max_windows_cap(self):
+        events = random_events(n_vertices=20, n_events=300,
+                               t_max=400 * 86_400, seed=97)
+
+        def windows_seen(spec):
+            return float(spec.n_windows)
+
+        grid, _, _ = speedup_grid(
+            events, [86_400], [5], windows_seen, max_windows=7
+        )
+        assert grid[0, 0] == 7
+
+
+class TestMetrics:
+    def test_spearman_identical(self):
+        v = np.array([0.1, 0.3, 0.2])
+        assert spearman_rank_correlation(v, v) == pytest.approx(1.0)
+
+    def test_spearman_reversed(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_spearman_constant(self):
+        assert spearman_rank_correlation(
+            np.ones(5), np.arange(5.0)
+        ) == pytest.approx(1.0)
+
+    def test_topk_overlap(self):
+        a = np.array([0.9, 0.8, 0.1, 0.0])
+        b = np.array([0.8, 0.9, 0.0, 0.1])
+        assert topk_overlap(a, b, k=2) == 1.0
+        c = np.array([0.0, 0.1, 0.8, 0.9])
+        assert topk_overlap(a, c, k=2) == 0.0
+
+    def test_topk_validation(self):
+        with pytest.raises(ValidationError):
+            topk_overlap(np.ones(3), np.ones(3), k=0)
+
+    def test_l1(self):
+        assert l1_distance([0.0, 1.0], [1.0, 1.0]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            l1_distance(np.ones(2), np.ones(3))

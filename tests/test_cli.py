@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.events import load_events_npz
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    path = tmp_path / "events.npz"
+    rc = main(
+        ["generate", "askubuntu", "--scale", "0.05", "--out", str(path)],
+        out=io.StringIO(),
+    )
+    assert rc == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompile"])
+
+
+class TestGenerate:
+    def test_npz_roundtrip(self, events_file):
+        events = load_events_npz(events_file)
+        assert len(events) > 0
+
+    def test_tsv_output(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        out = io.StringIO()
+        rc = main(
+            ["generate", "askubuntu", "--scale", "0.05", "--out", str(path)],
+            out=out,
+        )
+        assert rc == 0
+        assert path.exists()
+        assert "wrote" in out.getvalue()
+
+    def test_unknown_profile_fails(self, tmp_path):
+        rc = main(
+            ["generate", "nope", "--out", str(tmp_path / "x.npz")],
+            out=io.StringIO(),
+        )
+        assert rc == 1
+
+
+class TestListInfo:
+    def test_list(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "wiki-talk" in text and "ia-enron-email" in text
+
+    def test_info(self, events_file):
+        out = io.StringIO()
+        assert main(["info", events_file], out=out) == 0
+        text = out.getvalue()
+        assert "events" in text and "shape class" in text
+
+    def test_info_missing_file(self):
+        assert main(["info", "/nonexistent.npz"], out=io.StringIO()) == 1
+
+
+class TestRun:
+    def test_run_prints_windows(self, events_file):
+        out = io.StringIO()
+        rc = main(
+            [
+                "run",
+                events_file,
+                "--delta-days", "180",
+                "--sw", "5184000",
+                "--top", "2",
+                "--max-windows", "10",
+            ],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "postmortem PageRank over 10 windows" in text
+        assert "top-2" in text
+        assert "build" in text
+
+    def test_run_options(self, events_file):
+        out = io.StringIO()
+        rc = main(
+            [
+                "run",
+                events_file,
+                "--delta-days", "180",
+                "--sw", "5184000",
+                "--kernel", "spmv",
+                "--partition", "minimax",
+                "--max-windows", "6",
+            ],
+            out=out,
+        )
+        assert rc == 0
+
+
+class TestCompareSweep:
+    def test_compare(self, events_file):
+        out = io.StringIO()
+        rc = main(
+            [
+                "compare",
+                events_file,
+                "--delta-days", "180",
+                "--sw", "5184000",
+                "--max-windows", "8",
+            ],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "streaming" in text and "postmortem vs streaming" in text
+
+    def test_sweep(self, events_file):
+        out = io.StringIO()
+        rc = main(
+            [
+                "sweep",
+                events_file,
+                "--delta-days", "180",
+                "--sw", "5184000",
+                "--max-windows", "8",
+                "--workers", "8",
+            ],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "simulated makespan" in text and "best:" in text

@@ -1,0 +1,148 @@
+"""Tests for BFS, closeness and betweenness, cross-checked vs networkx."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import TemporalEventSet, Window
+from repro.graph import TemporalAdjacency, build_csr_from_edges
+from repro.kernels import (
+    betweenness_centrality,
+    bfs_distances,
+    bfs_levels,
+    closeness_centrality,
+)
+from tests.conftest import random_events
+
+nx = pytest.importorskip("networkx")
+
+
+def make_view(seed=55, n_vertices=24, n_events=160):
+    events = random_events(n_vertices=n_vertices, n_events=n_events,
+                           seed=seed)
+    adj = TemporalAdjacency.from_events(events)
+    return adj.window_view(Window(0, 0, 10_000))
+
+
+def nx_digraph(view):
+    g = nx.DiGraph()
+    compact = view.compact_graph()
+    src, dst = compact.edges()
+    g.add_nodes_from(np.flatnonzero(view.active_vertices_mask).tolist())
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+class TestBfs:
+    def test_matches_networkx(self):
+        view = make_view()
+        g = view.compact_graph()
+        ref_g = nx_digraph(view)
+        for source in (0, 5, 11):
+            dist = bfs_distances(g, source)
+            ref = nx.single_source_shortest_path_length(ref_g, source) \
+                if source in ref_g else {source: 0}
+            for v in range(g.n_vertices):
+                if v in ref:
+                    assert dist[v] == ref[v], (source, v)
+                else:
+                    assert dist[v] == -1, (source, v)
+
+    def test_levels_partition_reachable(self):
+        view = make_view(seed=56)
+        g = view.compact_graph()
+        seen = set()
+        for level, vertices in bfs_levels(g, 3):
+            for v in vertices:
+                assert v not in seen
+                seen.add(int(v))
+        dist = bfs_distances(g, 3)
+        assert seen == set(np.flatnonzero(dist >= 0).tolist())
+
+    def test_isolated_source(self):
+        g = build_csr_from_edges([0], [1], 5)
+        dist = bfs_distances(g, 4)
+        assert dist[4] == 0
+        assert (dist >= 0).sum() == 1
+
+
+class TestCloseness:
+    def test_matches_networkx(self):
+        view = make_view(seed=57)
+        got = closeness_centrality(view)
+        ref_g = nx_digraph(view)
+        # networkx closeness uses in-distances; ours uses out-distances,
+        # so compare against closeness on the reverse graph
+        ref = nx.closeness_centrality(ref_g.reverse(), wf_improved=True)
+        for v, c in ref.items():
+            assert got[v] == pytest.approx(c, abs=1e-9), v
+
+    def test_sampled_correlates_with_exact(self):
+        view = make_view(seed=58, n_vertices=40, n_events=500)
+        exact = closeness_centrality(view)
+        sampled = closeness_centrality(view, n_pivots=20, seed=1)
+        active = view.active_vertices_mask
+        mask = active & (exact > 0) & (sampled > 0)
+        if mask.sum() > 5:
+            corr = np.corrcoef(exact[mask], sampled[mask])[0, 1]
+            assert corr > 0.5
+
+    def test_inactive_zero(self):
+        view = make_view(seed=59)
+        got = closeness_centrality(view)
+        assert np.all(got[~view.active_vertices_mask] == 0)
+
+    def test_rejects_bad_pivots(self):
+        view = make_view()
+        with pytest.raises(ValidationError):
+            closeness_centrality(view, n_pivots=0)
+
+    def test_tiny_window(self):
+        events = TemporalEventSet([0], [1], [5])
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 10))
+        got = closeness_centrality(view)
+        assert got[0] > 0  # 0 reaches 1 at distance 1
+        assert got[1] == 0  # 1 reaches nobody
+
+
+class TestBetweenness:
+    def test_matches_networkx(self):
+        view = make_view(seed=60)
+        got = betweenness_centrality(view, normalized=True)
+        ref = nx.betweenness_centrality(nx_digraph(view), normalized=True)
+        for v, b in ref.items():
+            assert got[v] == pytest.approx(b, abs=1e-9), v
+
+    def test_matches_networkx_unnormalized(self):
+        view = make_view(seed=61)
+        got = betweenness_centrality(view, normalized=False)
+        ref = nx.betweenness_centrality(
+            nx_digraph(view), normalized=False
+        )
+        for v, b in ref.items():
+            assert got[v] == pytest.approx(b, abs=1e-9), v
+
+    def test_path_graph(self):
+        # directed path 0 -> 1 -> 2 -> 3: only 1 and 2 lie between pairs
+        events = TemporalEventSet([0, 1, 2], [1, 2, 3], [1, 2, 3])
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 10))
+        got = betweenness_centrality(view, normalized=False)
+        assert got[0] == 0 and got[3] == 0
+        assert got[1] == 2.0  # pairs (0,2), (0,3)
+        assert got[2] == 2.0  # pairs (0,3), (1,3)
+
+    def test_sampling_unbiased_scale(self):
+        view = make_view(seed=62, n_vertices=30, n_events=400)
+        exact = betweenness_centrality(view, normalized=False)
+        sampled = betweenness_centrality(
+            view, n_sources=view.n_active_vertices, normalized=False, seed=2
+        )
+        # sampling all sources == exact
+        assert np.allclose(exact, sampled, atol=1e-9)
+
+    def test_rejects_bad_sources(self):
+        view = make_view()
+        with pytest.raises(ValidationError):
+            betweenness_centrality(view, n_sources=0)

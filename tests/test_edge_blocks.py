@@ -1,0 +1,139 @@
+"""Unit tests for the STINGER-like edge-block structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.streaming.edge_blocks import EdgeBlock, EdgeBlockAdjacency
+
+
+class TestEdgeBlock:
+    def test_append_fills(self):
+        b = EdgeBlock(4)
+        taken = b.append(np.array([1, 2, 3]), np.array([10, 20, 30]))
+        assert taken == 3
+        assert b.fill == 3
+        assert b.space == 1
+
+    def test_append_overflow(self):
+        b = EdgeBlock(2)
+        taken = b.append(np.array([1, 2, 3]), np.array([1, 2, 3]))
+        assert taken == 2
+        assert b.space == 0
+
+    def test_compact_keep(self):
+        b = EdgeBlock(4)
+        b.append(np.array([1, 2, 3]), np.array([10, 20, 30]))
+        b.compact_keep(np.array([True, False, True]))
+        nbrs, times = b.live()
+        assert nbrs.tolist() == [1, 3]
+        assert times.tolist() == [10, 30]
+
+
+class TestAdjacency:
+    def test_insert_and_degree(self):
+        adj = EdgeBlockAdjacency(5, block_size=2)
+        adj.insert_batch(
+            np.array([0, 0, 0]), np.array([1, 2, 1]), np.array([1, 2, 3])
+        )
+        assert adj.n_entries == 3
+        assert adj.out_degree(0) == 2  # distinct neighbors 1, 2
+        assert adj.out_degree(1) == 0
+
+    def test_blocks_allocated_on_overflow(self):
+        adj = EdgeBlockAdjacency(2, block_size=2)
+        adj.insert_batch(
+            np.zeros(5, dtype=np.int64),
+            np.ones(5, dtype=np.int64),
+            np.arange(5),
+        )
+        assert adj.blocks_allocated >= 3
+        adj.check_invariants()
+
+    def test_expire_before(self):
+        adj = EdgeBlockAdjacency(3)
+        adj.insert_batch(
+            np.array([0, 0, 1]), np.array([1, 2, 2]), np.array([5, 15, 25])
+        )
+        removed = adj.expire_before(10)
+        assert removed == 1
+        assert adj.n_entries == 2
+        nbrs, times = adj.vertex_entries(0)
+        assert times.tolist() == [15]
+        adj.check_invariants()
+
+    def test_expire_updates_min_time(self):
+        adj = EdgeBlockAdjacency(2)
+        adj.insert_batch(
+            np.array([0, 0]), np.array([1, 1]), np.array([5, 50])
+        )
+        adj.expire_before(10)
+        # expiring again with a cut below the new minimum touches nothing
+        assert adj.expire_before(20) == 0 or adj.n_entries == 1
+        adj.check_invariants()
+
+    def test_expire_everything(self):
+        adj = EdgeBlockAdjacency(2)
+        adj.insert_batch(np.array([0]), np.array([1]), np.array([5]))
+        assert adj.expire_before(100) == 1
+        assert adj.n_entries == 0
+        adj.check_invariants()
+
+    def test_snapshot_dedups(self):
+        adj = EdgeBlockAdjacency(4)
+        adj.insert_batch(
+            np.array([0, 0, 2]), np.array([1, 1, 3]), np.array([1, 2, 3])
+        )
+        g = adj.snapshot_csr()
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 3)
+
+    def test_snapshot_empty(self):
+        adj = EdgeBlockAdjacency(3)
+        g = adj.snapshot_csr()
+        assert g.n_edges == 0
+
+    def test_rejects_bad_batches(self):
+        adj = EdgeBlockAdjacency(3)
+        with pytest.raises(ValidationError):
+            adj.insert_batch(np.array([0]), np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValidationError):
+            adj.insert_batch(np.array([5]), np.array([1]), np.array([1]))
+        with pytest.raises(ValidationError):
+            adj.insert_batch(np.array([0]), np.array([9]), np.array([1]))
+
+    def test_counters(self):
+        adj = EdgeBlockAdjacency(3)
+        adj.insert_batch(np.array([0, 1]), np.array([1, 2]), np.array([1, 2]))
+        adj.expire_before(2)
+        assert adj.entries_inserted == 2
+        assert adj.entries_expired == 1
+
+    def test_matches_reference_under_random_ops(self):
+        """The structure's live entry multiset always equals a brute-force
+        reference after arbitrary insert/expire interleavings."""
+        rng = np.random.default_rng(71)
+        adj = EdgeBlockAdjacency(10, block_size=3)
+        reference = []  # list of (src, dst, t)
+        t_clock = 0
+        for step in range(30):
+            n = int(rng.integers(1, 8))
+            src = rng.integers(0, 10, n)
+            dst = rng.integers(0, 10, n)
+            t = t_clock + np.sort(rng.integers(0, 5, n))
+            adj.insert_batch(src, dst, t)
+            reference.extend(zip(src.tolist(), dst.tolist(), t.tolist()))
+            t_clock += int(rng.integers(0, 4))
+            if rng.random() < 0.5:
+                cut = t_clock - int(rng.integers(0, 6))
+                adj.expire_before(cut)
+                reference = [e for e in reference if e[2] >= cut]
+            adj.check_invariants()
+            assert adj.n_entries == len(reference)
+
+        got = []
+        for u in range(10):
+            nbrs, times = adj.vertex_entries(u)
+            got.extend(zip([u] * nbrs.size, nbrs.tolist(), times.tolist()))
+        assert sorted(got) == sorted(reference)

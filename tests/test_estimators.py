@@ -1,0 +1,139 @@
+"""Tests for the streaming sampling estimators (Section 3.2 related
+work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import Window
+from repro.graph import TemporalAdjacency
+from repro.analysis.graph_stats import triangle_count
+from repro.streaming.estimators import (
+    EdgeSampleTriangleCounter,
+    HeadTailDegreeEstimator,
+)
+from tests.conftest import random_events
+
+
+class TestDegreeEstimator:
+    def test_full_sample_is_exact(self):
+        events = random_events(n_vertices=30, n_events=400, seed=201)
+        est = HeadTailDegreeEstimator(30, sample_rate=1.0)
+        est.observe_batch(events.src, events.dst)
+        exact = np.zeros(30, dtype=np.int64)
+        np.add.at(exact, events.src, 1)
+        np.add.at(exact, events.dst, 1)
+        degrees, counts = est.estimate_distribution()
+        assert counts.sum() == 30
+        expected = np.bincount(exact, minlength=degrees.size)
+        assert np.array_equal(counts.astype(int), expected)
+        assert est.estimate_mean_degree() == pytest.approx(exact.mean())
+
+    def test_sampled_estimate_close(self):
+        rng = np.random.default_rng(202)
+        n, m = 500, 20_000
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        est = HeadTailDegreeEstimator(n, sample_rate=0.3, seed=3)
+        est.observe_batch(src, dst)
+        exact_mean = 2 * m / n
+        assert est.estimate_mean_degree() == pytest.approx(
+            exact_mean, rel=0.15
+        )
+        _, counts = est.estimate_distribution()
+        assert counts.sum() == pytest.approx(n, rel=0.01)
+
+    def test_reset(self):
+        est = HeadTailDegreeEstimator(10, sample_rate=1.0)
+        est.observe_batch(np.array([0]), np.array([1]))
+        est.reset()
+        assert est.edges_seen == 0
+        assert est.estimate_mean_degree() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HeadTailDegreeEstimator(0)
+        with pytest.raises(ValidationError):
+            HeadTailDegreeEstimator(10, sample_rate=0.0)
+        est = HeadTailDegreeEstimator(10)
+        with pytest.raises(ValidationError):
+            est.observe_batch(np.array([0]), np.array([1, 2]))
+
+
+class TestTriangleCounter:
+    def exact_triangles(self, events):
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(
+            Window(0, int(events.t_min), int(events.t_max))
+        )
+        return triangle_count(view)
+
+    def test_large_capacity_is_exact_for_simple_streams(self):
+        # distinct undirected edges, capacity >= stream: estimate counts
+        # every closed wedge exactly once per closing edge
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 0), (1, 3)]
+        counter = EdgeSampleTriangleCounter(capacity=100)
+        for u, v in edges:
+            counter.observe(u, v)
+        # K4 has 4 triangles
+        assert counter.triangles == pytest.approx(4.0)
+
+    def test_estimate_close_on_random_graph(self):
+        rng = np.random.default_rng(204)
+        n, m = 60, 1_500
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        keep = src != dst
+        # dedupe so the exact count matches the simple-graph reference
+        pairs = sorted(
+            {tuple(sorted(p)) for p in zip(src[keep], dst[keep])}
+        )
+        from repro.events import TemporalEventSet
+
+        events = TemporalEventSet(
+            [p[0] for p in pairs],
+            [p[1] for p in pairs],
+            list(range(len(pairs))),
+            n_vertices=n,
+        )
+        exact = self.exact_triangles(events)
+
+        estimates = []
+        for seed in range(5):
+            counter = EdgeSampleTriangleCounter(capacity=len(pairs) // 2,
+                                                seed=seed)
+            counter.observe_batch(events.src, events.dst)
+            estimates.append(counter.triangles)
+        mean_est = float(np.mean(estimates))
+        assert mean_est == pytest.approx(exact, rel=0.35)
+
+    def test_self_loops_ignored(self):
+        counter = EdgeSampleTriangleCounter(capacity=10)
+        counter.observe(1, 1)
+        assert counter._t == 0
+        assert counter.triangles == 0.0
+
+    def test_reset(self):
+        counter = EdgeSampleTriangleCounter(capacity=10)
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            counter.observe(u, v)
+        assert counter.triangles > 0
+        counter.reset()
+        assert counter.triangles == 0.0
+        assert counter._t == 0
+
+    def test_reservoir_bounded(self):
+        counter = EdgeSampleTriangleCounter(capacity=5, seed=1)
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            u, v = rng.integers(0, 20, 2)
+            if u != v:
+                counter.observe(int(u), int(v))
+        assert len(counter._slots) <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            EdgeSampleTriangleCounter(capacity=1)
+        c = EdgeSampleTriangleCounter()
+        with pytest.raises(ValidationError):
+            c.observe_batch(np.array([0]), np.array([1, 2]))

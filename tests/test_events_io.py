@@ -1,0 +1,57 @@
+"""Unit tests for event-set serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import (
+    load_events_npz,
+    load_events_tsv,
+    save_events_npz,
+    save_events_tsv,
+)
+from tests.conftest import random_events
+
+
+class TestTsv:
+    def test_roundtrip(self, tmp_path):
+        es = random_events(seed=11)
+        path = tmp_path / "events.tsv"
+        save_events_tsv(es, path)
+        back = load_events_tsv(path, n_vertices=es.n_vertices)
+        assert back == es
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "commented.tsv"
+        path.write_text("# header\n0\t1\t5\n% other comment\n1\t0\t7\n")
+        es = load_events_tsv(path)
+        assert len(es) == 2
+        assert es.time.tolist() == [5, 7]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# nothing\n")
+        es = load_events_tsv(path)
+        assert len(es) == 0
+
+    def test_wrong_columns(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\t1\n")
+        with pytest.raises(ValidationError):
+            load_events_tsv(path)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        es = random_events(seed=12)
+        path = tmp_path / "events.npz"
+        save_events_npz(es, path)
+        back = load_events_npz(path)
+        assert back == es
+        assert back.n_vertices == es.n_vertices
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, src=np.array([0]), dst=np.array([1]))
+        with pytest.raises(ValidationError):
+            load_events_npz(path)

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library — a broken one is a
+documentation bug.  Each runs in a subprocess with a reduced-size
+environment knob where applicable; the slowest (the full tuning sweep) is
+skipped unless REPRO_RUN_SLOW_EXAMPLES is set.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "collaboration_network.py",
+    "crisis_communication.py",
+    "custom_kernel.py",
+]
+
+SLOW_EXAMPLES = [
+    "streaming_vs_postmortem.py",
+    "temporal_connectivity.py",
+    "rank_dynamics.py",
+    "parameter_tuning.py",
+]
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    out = run_example(name)
+    assert out.strip(), name
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW_EXAMPLES"),
+    reason="set REPRO_RUN_SLOW_EXAMPLES=1 to run the slow examples",
+)
+def test_slow_example_runs(name):
+    out = run_example(name, timeout=600)
+    assert out.strip(), name
+
+
+def test_all_examples_are_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

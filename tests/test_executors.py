@@ -1,0 +1,125 @@
+"""Unit tests for the real thread executors and work-stealing pool."""
+
+import threading
+
+import pytest
+
+from repro.errors import SchedulerError, ValidationError
+from repro.parallel import ChunkedThreadExecutor, WorkStealingPool
+from repro.parallel.partitioners import SIMPLE
+
+
+class TestChunkedThreadExecutor:
+    def test_results_in_order(self):
+        ex = ChunkedThreadExecutor(n_workers=3, granularity=4)
+        out = ex.map_chunks(lambda lo, hi: [i * i for i in range(lo, hi)], 20)
+        assert out == [i * i for i in range(20)]
+
+    def test_single_worker_path(self):
+        ex = ChunkedThreadExecutor(n_workers=1, granularity=5)
+        out = ex.map_chunks(lambda lo, hi: list(range(lo, hi)), 12)
+        assert out == list(range(12))
+
+    def test_empty(self):
+        ex = ChunkedThreadExecutor()
+        assert ex.map_chunks(lambda lo, hi: [], 0) == []
+
+    def test_chunks_are_contiguous(self):
+        seen = []
+        lock = threading.Lock()
+
+        def fn(lo, hi):
+            with lock:
+                seen.append((lo, hi))
+            return list(range(lo, hi))
+
+        ChunkedThreadExecutor(n_workers=2, granularity=3).map_chunks(fn, 10)
+        for lo, hi in seen:
+            assert hi - lo <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ChunkedThreadExecutor(n_workers=0)
+        with pytest.raises(ValidationError):
+            ChunkedThreadExecutor(granularity=0)
+        with pytest.raises(ValidationError):
+            ChunkedThreadExecutor().map_chunks(lambda lo, hi: [], -1)
+
+    def test_exceptions_propagate(self):
+        ex = ChunkedThreadExecutor(n_workers=2, granularity=1)
+
+        def boom(lo, hi):
+            raise RuntimeError("kernel failure")
+
+        with pytest.raises(RuntimeError, match="kernel failure"):
+            ex.map_chunks(boom, 4)
+
+
+class TestWorkStealingPool:
+    def test_all_items_executed_once(self):
+        pool = WorkStealingPool(n_workers=4, granularity=2)
+        results, stats = pool.run(lambda lo, hi: list(range(lo, hi)), 37)
+        flat = [x for chunk in results for x in chunk]
+        assert flat == list(range(37))
+        assert stats.tasks_executed >= 1
+
+    def test_granularity_respected(self):
+        pool = WorkStealingPool(n_workers=2, granularity=3)
+        sizes = []
+        lock = threading.Lock()
+
+        def fn(lo, hi):
+            with lock:
+                sizes.append(hi - lo)
+            return None
+
+        pool.run(fn, 20, collect=False)
+        assert all(s <= 3 for s in sizes)
+        assert sum(sizes) == 20
+
+    def test_stealing_occurs_under_imbalance(self):
+        """With one worker given slow items, others must steal."""
+        import time
+
+        pool = WorkStealingPool(n_workers=4, granularity=1)
+
+        def fn(lo, hi):
+            if lo < 5:
+                time.sleep(0.002)
+            return lo
+
+        _, stats = pool.run(fn, 40)
+        # all items ran; work was spread over more than one worker
+        busy_workers = sum(1 for v in stats.per_worker_tasks.values() if v)
+        assert busy_workers > 1
+        assert stats.tasks_executed == 40
+
+    def test_empty(self):
+        pool = WorkStealingPool(2, 1)
+        results, stats = pool.run(lambda lo, hi: None, 0)
+        assert results == []
+        assert stats.tasks_executed == 0
+
+    def test_exception_propagates(self):
+        pool = WorkStealingPool(2, 1)
+
+        def boom(lo, hi):
+            raise ValueError("bad chunk")
+
+        with pytest.raises(ValueError, match="bad chunk"):
+            pool.run(boom, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WorkStealingPool(0, 1)
+        with pytest.raises(ValidationError):
+            WorkStealingPool(1, 0)
+        with pytest.raises(ValidationError):
+            WorkStealingPool(1, 1).run(lambda lo, hi: None, -2)
+
+    def test_single_worker(self):
+        pool = WorkStealingPool(1, 4)
+        results, stats = pool.run(lambda lo, hi: (lo, hi), 10)
+        assert stats.steals == 0
+        # recursive halving of [0, 10) at grainsize 4 yields 4 leaves
+        assert stats.tasks_executed == 4

@@ -1,0 +1,130 @@
+"""Unit tests for the level-of-parallelism makespan estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import WindowSpec
+from repro.pagerank import PagerankConfig
+from repro.parallel import (
+    AUTO,
+    STATIC,
+    CostModel,
+    MachineSpec,
+    collect_window_stats,
+    estimate_makespan,
+)
+from tests.conftest import random_events
+
+
+@pytest.fixture(scope="module")
+def stats():
+    events = random_events(n_vertices=60, n_events=3_000, t_max=60_000, seed=91)
+    spec = WindowSpec.covering(events, delta=8_000, sw=1_500)
+    return collect_window_stats(
+        events, spec, PagerankConfig(max_iterations=200), n_multiwindows=4
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(
+        c_edge=1e-7, c_vertex=1e-8, c_active=5e-8, c_task=1e-7, c_region=4e-7
+    )
+
+
+class TestCollect:
+    def test_stats_complete(self, stats):
+        assert len(stats.windows) == stats.n_windows
+        assert len(stats.multiwindows) == 4
+        for w in stats.windows:
+            assert w.iterations_partial > 0
+            assert w.iterations_full > 0
+        for m in stats.multiwindows:
+            assert m.in_row_lengths.sum() == m.nnz
+
+    def test_partial_never_much_worse(self, stats):
+        total_p = sum(w.iterations_partial for w in stats.windows)
+        total_f = sum(w.iterations_full for w in stats.windows)
+        assert total_p <= total_f * 1.1
+
+
+class TestEstimates:
+    def test_machine_spec_validation(self):
+        with pytest.raises(ValidationError):
+            MachineSpec(0)
+
+    def test_serial_equals_across_levels(self, stats, model):
+        """With 1 worker and huge granularity, all levels are pure serial
+        work and must roughly agree."""
+        m1 = MachineSpec(1)
+        big = 10**9
+        w = estimate_makespan(stats, m1, model, "window", AUTO, big)
+        a = estimate_makespan(stats, m1, model, "application", AUTO, big)
+        n = estimate_makespan(stats, m1, model, "nested", AUTO, big)
+        assert a == pytest.approx(w, rel=0.2)
+        assert n == pytest.approx(w, rel=0.2)
+
+    def test_more_workers_never_slower(self, stats, model):
+        for level in ("window", "application", "nested"):
+            t8 = estimate_makespan(
+                stats, MachineSpec(8), model, level, AUTO, 1
+            )
+            t48 = estimate_makespan(
+                stats, MachineSpec(48), model, level, AUTO, 1
+            )
+            assert t48 <= t8 * 1.01, level
+
+    def test_window_level_degrades_with_huge_granularity(self, stats, model):
+        mach = MachineSpec(16)
+        fine = estimate_makespan(stats, mach, model, "window", AUTO, 1)
+        coarse = estimate_makespan(
+            stats, mach, model, "window", AUTO, stats.n_windows
+        )
+        assert coarse > fine  # one chunk = serial
+
+    def test_spmm_beats_spmv(self, stats, model):
+        mach = MachineSpec(16)
+        for level in ("window", "application", "nested"):
+            spmv = estimate_makespan(
+                stats, mach, model, level, AUTO, 4, kernel="spmv"
+            )
+            spmm = estimate_makespan(
+                stats, mach, model, level, AUTO, 4, kernel="spmm",
+                vector_length=16,
+            )
+            assert spmm < spmv, level
+
+    def test_makespan_at_least_critical_path(self, stats, model):
+        """Nested makespan can never beat total work / P."""
+        mach = MachineSpec(16)
+        t = estimate_makespan(stats, mach, model, "nested", AUTO, 8)
+        mw = {m.index: m for m in stats.multiwindows}
+        total = sum(
+            model.spmv_window_cost(
+                mw[w.mw_index].nnz,
+                mw[w.mw_index].n_vertices,
+                w.iterations_partial,
+            )
+            for w in stats.windows
+        )
+        assert t >= total / 16 * 0.9
+
+    def test_static_nested_no_rebalancing(self, stats, model):
+        mach = MachineSpec(16)
+        t_static = estimate_makespan(
+            stats, mach, model, "nested", STATIC, 4
+        )
+        assert t_static > 0
+
+    def test_rejects_bad_args(self, stats, model):
+        with pytest.raises(ValidationError):
+            estimate_makespan(stats, MachineSpec(2), model, level="gpu")
+        with pytest.raises(ValidationError):
+            estimate_makespan(stats, MachineSpec(2), model, kernel="spgemm")
+        with pytest.raises(ValidationError):
+            estimate_makespan(stats, MachineSpec(2), model, granularity=0)
+
+    def test_includes_build_time(self, stats, model):
+        t = estimate_makespan(stats, MachineSpec(48), model, "nested", AUTO, 8)
+        assert t >= stats.build_seconds

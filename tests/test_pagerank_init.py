@@ -1,0 +1,128 @@
+"""Unit tests for full/partial initialization (paper eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import WindowSpec
+from repro.graph import TemporalAdjacency
+from repro.pagerank import (
+    PagerankConfig,
+    full_initialization,
+    pagerank_window,
+    partial_initialization,
+)
+from tests.conftest import random_events
+
+
+@pytest.fixture
+def overlapping():
+    """Events with heavily overlapping consecutive windows."""
+    events = random_events(n_vertices=50, n_events=2_000, t_max=50_000, seed=51)
+    spec = WindowSpec.covering(events, delta=20_000, sw=1_000)
+    adj = TemporalAdjacency.from_events(events)
+    return events, spec, adj
+
+
+class TestFullInitialization:
+    def test_uniform_over_active(self, adjacency, spec):
+        view = adjacency.window_view(spec.window(0))
+        x = full_initialization(view)
+        active = view.active_vertices_mask
+        assert np.allclose(x[active], 1.0 / view.n_active_vertices)
+        assert np.all(x[~active] == 0)
+        assert x.sum() == pytest.approx(1.0)
+
+    def test_empty_window(self, adjacency):
+        from repro.events import Window
+
+        view = adjacency.window_view(Window(0, 10**9, 10**9 + 5))
+        assert np.all(full_initialization(view) == 0)
+
+
+class TestPartialInitialization:
+    def test_sums_to_one(self, overlapping):
+        _, spec, adj = overlapping
+        v0 = adj.window_view(spec.window(0))
+        v1 = adj.window_view(spec.window(1))
+        prev = pagerank_window(v0)
+        x = partial_initialization(v1, v0, prev.values)
+        assert x.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_eq4_proportionality(self, overlapping):
+        """Shared vertices get values proportional to the previous window's
+        PageRank with the eq. 4 normalization."""
+        _, spec, adj = overlapping
+        v0 = adj.window_view(spec.window(0))
+        v1 = adj.window_view(spec.window(1))
+        prev = pagerank_window(v0)
+        x = partial_initialization(v1, v0, prev.values)
+
+        shared = v0.active_vertices_mask & v1.active_vertices_mask
+        n_shared = int(shared.sum())
+        n_cur = v1.n_active_vertices
+        shared_mass = prev.values[shared].sum()
+        expected = prev.values[shared] * (n_shared / n_cur) / shared_mass
+        assert np.allclose(x[shared], expected)
+
+    def test_new_vertices_uniform(self, overlapping):
+        _, spec, adj = overlapping
+        v0 = adj.window_view(spec.window(0))
+        v5 = adj.window_view(spec.window(5))
+        prev = pagerank_window(v0)
+        x = partial_initialization(v5, v0, prev.values)
+        new = v5.active_vertices_mask & ~v0.active_vertices_mask
+        if new.any():
+            assert np.allclose(x[new], 1.0 / v5.n_active_vertices)
+
+    def test_closer_than_cold_start(self, overlapping):
+        """The warm start must be closer to the fixed point than uniform —
+        the entire premise of Section 4.2."""
+        _, spec, adj = overlapping
+        cfg = PagerankConfig(tolerance=1e-12, max_iterations=500)
+        v0 = adj.window_view(spec.window(3))
+        v1 = adj.window_view(spec.window(4))
+        prev = pagerank_window(v0, cfg)
+        exact = pagerank_window(v1, cfg)
+        warm = partial_initialization(v1, v0, prev.values)
+        cold = full_initialization(v1)
+        d_warm = np.abs(warm - exact.values).sum()
+        d_cold = np.abs(cold - exact.values).sum()
+        assert d_warm < d_cold
+
+    def test_same_fixed_point(self, overlapping):
+        _, spec, adj = overlapping
+        cfg = PagerankConfig(tolerance=1e-12, max_iterations=500)
+        v0 = adj.window_view(spec.window(0))
+        v1 = adj.window_view(spec.window(1))
+        prev = pagerank_window(v0, cfg)
+        warm = pagerank_window(
+            v1, cfg, x0=partial_initialization(v1, v0, prev.values)
+        )
+        cold = pagerank_window(v1, cfg)
+        assert np.allclose(warm.values, cold.values, atol=1e-9)
+
+    def test_disjoint_vertex_sets_fall_back_to_full(self):
+        # early window touches vertices 0..3 only, late window 4..7 only:
+        # no shared vertices -> eq. 4 degenerates to full initialization
+        from repro.events import TemporalEventSet
+
+        events = TemporalEventSet(
+            [0, 1, 2, 4, 5, 6],
+            [1, 2, 3, 5, 6, 7],
+            [10, 20, 30, 1_010, 1_020, 1_030],
+        )
+        adj = TemporalAdjacency.from_events(events)
+        spec = WindowSpec(t0=0, delta=100, sw=1_000, n_windows=2)
+        v0 = adj.window_view(spec.window(0))
+        v1 = adj.window_view(spec.window(1))
+        prev = pagerank_window(v0)
+        x = partial_initialization(v1, v0, prev.values)
+        assert np.allclose(x, full_initialization(v1))
+
+    def test_rejects_wrong_shape(self, overlapping):
+        _, spec, adj = overlapping
+        v0 = adj.window_view(spec.window(0))
+        v1 = adj.window_view(spec.window(1))
+        with pytest.raises(ValidationError):
+            partial_initialization(v1, v0, np.ones(3))

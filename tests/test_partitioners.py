@@ -1,0 +1,103 @@
+"""Unit tests for TBB-style partitioners."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel.partitioners import (
+    AUTO,
+    SIMPLE,
+    STATIC,
+    chunk_ranges,
+    contiguous_blocks,
+    get_partitioner,
+    round_robin_owner,
+)
+
+
+def covers(ranges, n):
+    flat = []
+    for lo, hi in ranges:
+        assert lo < hi
+        flat.extend(range(lo, hi))
+    return flat == list(range(n))
+
+
+class TestChunkRanges:
+    def test_simple_exact_granularity(self):
+        ranges = chunk_ranges(10, 3, SIMPLE)
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert covers(ranges, 10)
+
+    def test_simple_granularity_one(self):
+        ranges = chunk_ranges(5, 1, SIMPLE)
+        assert len(ranges) == 5
+
+    def test_auto_caps_chunk_count(self):
+        # auto never creates more than ~factor * workers chunks
+        ranges = chunk_ranges(10_000, 1, AUTO, n_workers=4)
+        assert len(ranges) <= AUTO.initial_split_factor * 4 + 1
+        assert covers(ranges, 10_000)
+
+    def test_auto_respects_granularity_floor(self):
+        ranges = chunk_ranges(100, 50, AUTO, n_workers=8)
+        assert all(hi - lo <= 50 or len(ranges) <= 2 for lo, hi in ranges)
+        assert covers(ranges, 100)
+
+    def test_static_one_block_per_worker(self):
+        ranges = chunk_ranges(100, 1, STATIC, n_workers=4)
+        assert len(ranges) == 4
+        assert covers(ranges, 100)
+
+    def test_static_granularity_limits_blocks(self):
+        # 10 items at granularity 5 -> at most 2 blocks even with 8 workers
+        ranges = chunk_ranges(10, 5, STATIC, n_workers=8)
+        assert len(ranges) == 2
+
+    def test_empty(self):
+        assert chunk_ranges(0, 1, SIMPLE) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            chunk_ranges(-1, 1, SIMPLE)
+        with pytest.raises(ValidationError):
+            chunk_ranges(5, 0, SIMPLE)
+        with pytest.raises(ValidationError):
+            chunk_ranges(5, 1, SIMPLE, n_workers=0)
+
+
+class TestContiguousBlocks:
+    def test_even_split(self):
+        assert contiguous_blocks(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_uneven_split(self):
+        blocks = contiguous_blocks(10, 3)
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_blocks_than_items(self):
+        blocks = contiguous_blocks(2, 5)
+        assert len(blocks) == 2
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValidationError):
+            contiguous_blocks(5, 0)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_partitioner("auto") is AUTO
+        assert get_partitioner("simple") is SIMPLE
+        assert get_partitioner("static") is STATIC
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            get_partitioner("affinity")
+
+    def test_round_robin(self):
+        owner = round_robin_owner(5, 2)
+        assert owner.tolist() == [0, 1, 0, 1, 0]
+        with pytest.raises(ValidationError):
+            round_robin_owner(3, 0)
+
+    def test_steal_flags(self):
+        assert AUTO.steals and SIMPLE.steals
+        assert not STATIC.steals

@@ -1,0 +1,61 @@
+"""Configuration-fuzzing property test: every postmortem configuration
+must produce the same PageRank time series as the offline baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import TemporalEventSet, WindowSpec
+from repro.models import OfflineDriver, PostmortemDriver, PostmortemOptions
+from repro.pagerank import PagerankConfig
+
+CFG = PagerankConfig(tolerance=1e-11, max_iterations=300)
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=4, max_value=20))
+    m = draw(st.integers(min_value=5, max_value=120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    t = draw(st.lists(st.integers(0, 500), min_size=m, max_size=m))
+    events = TemporalEventSet(src, dst, t, n_vertices=n)
+    span = max(events.span, 10)
+    delta = draw(st.integers(min_value=span // 5 + 1, max_value=span))
+    sw = draw(st.integers(min_value=max(span // 12, 1), max_value=span))
+    spec = WindowSpec.covering(events, delta=delta, sw=sw)
+    return events, spec
+
+
+@st.composite
+def options(draw):
+    return PostmortemOptions(
+        n_multiwindows=draw(st.integers(1, 8)),
+        partial_init=draw(st.booleans()),
+        kernel=draw(st.sampled_from(["spmv", "spmm"])),
+        vector_length=draw(st.sampled_from([2, 4, 8, 16])),
+        partition_method=draw(
+            st.sampled_from(["uniform", "minimax", "greedy"])
+        ),
+    )
+
+
+@given(instances(), options())
+@settings(max_examples=60, deadline=None)
+def test_any_configuration_matches_offline(instance, opts):
+    events, spec = instance
+    baseline = OfflineDriver(events, spec, CFG).run()
+    run = PostmortemDriver(events, spec, CFG, opts).run()
+    assert run.n_windows == baseline.n_windows
+    assert baseline.max_difference(run) < 1e-7, opts
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_streaming_matches_offline(instance):
+    from repro.streaming import StreamingDriver
+
+    events, spec = instance
+    baseline = OfflineDriver(events, spec, CFG).run()
+    stream = StreamingDriver(events, spec, CFG).run()
+    assert baseline.max_difference(stream) < 1e-7

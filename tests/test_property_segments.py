@@ -1,0 +1,86 @@
+"""Property-based tests for the segment reductions (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.segments import (
+    indptr_to_row_ids,
+    lengths_to_indptr,
+    row_lengths,
+    segment_max,
+    segment_min,
+    segment_sum,
+)
+
+
+@st.composite
+def segmented_values(draw):
+    """Random (values, indptr) with arbitrary empty segments."""
+    lengths = draw(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                 max_size=25)
+    )
+    indptr = lengths_to_indptr(np.array(lengths, dtype=np.int64))
+    n = int(indptr[-1])
+    values = draw(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(values, dtype=np.float64), indptr
+
+
+@given(segmented_values())
+@settings(max_examples=200, deadline=None)
+def test_segment_sum_matches_python(data):
+    values, indptr = data
+    got = segment_sum(values, indptr)
+    expected = [
+        values[indptr[i]: indptr[i + 1]].sum()
+        for i in range(indptr.size - 1)
+    ]
+    assert np.allclose(got, expected, atol=1e-6)
+
+
+@given(segmented_values())
+@settings(max_examples=100, deadline=None)
+def test_segment_max_min_match_python(data):
+    values, indptr = data
+    gmax = segment_max(values, indptr, empty_value=-1e9)
+    gmin = segment_min(values, indptr, empty_value=1e9)
+    for i in range(indptr.size - 1):
+        seg = values[indptr[i]: indptr[i + 1]]
+        if seg.size:
+            assert gmax[i] == seg.max()
+            assert gmin[i] == seg.min()
+        else:
+            assert gmax[i] == -1e9
+            assert gmin[i] == 1e9
+
+
+@given(segmented_values())
+@settings(max_examples=100, deadline=None)
+def test_total_preserved(data):
+    values, indptr = data
+    assert np.isclose(
+        segment_sum(values, indptr).sum(), values.sum(), atol=1e-6
+    )
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=30)
+)
+@settings(max_examples=100, deadline=None)
+def test_indptr_roundtrip(lengths):
+    arr = np.array(lengths, dtype=np.int64)
+    indptr = lengths_to_indptr(arr)
+    assert row_lengths(indptr).tolist() == lengths
+    row_ids = indptr_to_row_ids(indptr)
+    assert row_ids.size == arr.sum()
+    # row ids are non-decreasing and each id i appears lengths[i] times
+    assert np.all(np.diff(row_ids) >= 0)
+    counts = np.bincount(row_ids, minlength=arr.size)
+    assert counts.tolist() == lengths

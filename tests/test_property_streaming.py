@@ -1,0 +1,117 @@
+"""Property-based tests for the streaming substrate and the scheduler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import TemporalEventSet, WindowSpec
+from repro.graph import build_csr_from_edges
+from repro.models.schedule import spmm_region_schedule
+from repro.parallel.simulator import simulate_chunk_schedule
+from repro.streaming import StreamingGraph
+from repro.streaming.edge_blocks import EdgeBlockAdjacency
+
+
+@st.composite
+def event_sets(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    m = draw(st.integers(min_value=1, max_value=60))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    t = draw(st.lists(st.integers(0, 150), min_size=m, max_size=m))
+    return TemporalEventSet(src, dst, t, n_vertices=n)
+
+
+@given(event_sets(), st.integers(1, 60), st.integers(1, 40),
+       st.integers(1, 5))
+@settings(max_examples=100, deadline=None)
+def test_streaming_state_always_matches_rebuild(events, delta, sw, block_size):
+    """After any sequence of slides, the streaming structure equals the
+    from-scratch window graph — the core streaming-correctness invariant."""
+    spec = WindowSpec.covering(events, delta=delta, sw=sw)
+    stream = StreamingGraph(events, block_size=block_size)
+    for w in spec:
+        stream.advance_to(w)
+        got, _ = stream.snapshot()
+        lo, hi = events.time_slice_indices(w.t_start, w.t_end)
+        expected = build_csr_from_edges(
+            events.src[lo:hi], events.dst[lo:hi], events.n_vertices
+        )
+        assert got == expected
+        stream.adjacency.check_invariants()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),  # src
+            st.integers(0, 5),  # dst
+            st.integers(0, 50),  # time
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(1, 4),
+)
+@settings(max_examples=100, deadline=None)
+def test_edge_blocks_insert_expire_conservation(entries, block_size):
+    adj = EdgeBlockAdjacency(6, block_size=block_size)
+    src = np.array([e[0] for e in entries], dtype=np.int64)
+    dst = np.array([e[1] for e in entries], dtype=np.int64)
+    t = np.array([e[2] for e in entries], dtype=np.int64)
+    adj.insert_batch(src, dst, t)
+    assert adj.n_entries == len(entries)
+    cut = 25
+    removed = adj.expire_before(cut)
+    assert removed == int((t < cut).sum())
+    assert adj.n_entries == int((t >= cut).sum())
+    adj.check_invariants()
+
+
+@given(st.integers(0, 20), st.integers(1, 200), st.integers(1, 16))
+@settings(max_examples=150, deadline=None)
+def test_spmm_schedule_partitions_windows(first, n, L):
+    batches = spmm_region_schedule(first, n, L)
+    seen = [w for b in batches for w in b.windows]
+    assert sorted(seen) == list(range(first, first + n))
+    solved = set()
+    for b in batches:
+        assert 1 <= b.width <= min(L, n)
+        for w, p in zip(b.windows, b.predecessors):
+            if p is not None:
+                assert p == w - 1
+                assert p in solved
+        solved.update(b.windows)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+             max_size=300),
+    st.integers(1, 16),
+)
+@settings(max_examples=150, deadline=None)
+def test_schedule_bounds(costs, workers):
+    """Any schedule's makespan lies between work/P and work, and at least
+    the largest chunk."""
+    arr = np.array(costs)
+    for steals in (True, False):
+        t = simulate_chunk_schedule(arr, workers, steals=steals)
+        assert t >= arr.sum() / workers - 1e-9
+        assert t >= arr.max() - 1e-9
+        assert t <= arr.sum() + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1,
+             max_size=100),
+    st.integers(1, 8),
+)
+@settings(max_examples=100, deadline=None)
+def test_stealing_meets_graham_bound(costs, workers):
+    """Greedy stealing always attains the Graham list-scheduling bound
+    W/P + (1 - 1/P) * c_max (it can occasionally lose to a lucky static
+    deal, but never exceeds this bound)."""
+    arr = np.array(costs)
+    t_steal = simulate_chunk_schedule(arr, workers, steals=True)
+    bound = arr.sum() / workers + (1 - 1 / workers) * arr.max()
+    assert t_steal <= bound + 1e-9

@@ -1,0 +1,92 @@
+"""Unit tests for ASCII tables, series and heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.reporting import (
+    format_bar_chart,
+    format_heatmap,
+    format_kv,
+    format_series,
+    format_table,
+)
+
+
+class TestTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # columns line up
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000012], [12345.6], [1.5], [0]])
+        assert "1.2e-05" in out
+        assert "1.23e+04" in out or "12345" in out or "1.23e+4" in out
+        assert "1.5" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_kv(self):
+        out = format_kv({"alpha": 0.15, "iterations": 30}, title="Config")
+        assert "alpha" in out and "0.15" in out
+        assert out.splitlines()[0] == "Config"
+
+    def test_kv_empty(self):
+        assert format_kv({}) == ""
+
+
+class TestSeries:
+    def test_basic(self):
+        out = format_series(
+            "g", [1, 2, 4], {"spmv": [1.0, 2.0, 3.0], "spmm": [2.0, 3.0, 4.0]}
+        )
+        lines = out.splitlines()
+        assert "spmv" in lines[0] and "spmm" in lines[0]
+        assert len(lines) == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_series("x", [1, 2], {"s": [1.0]})
+
+
+class TestHeatmap:
+    def test_orientation(self):
+        grid = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = format_heatmap(
+            grid, ["10d", "90d"], ["43200", "86400"],
+            row_title="ws", col_title="sw",
+        )
+        lines = out.splitlines()
+        assert "ws\\sw" in lines[0]
+        assert lines[2].startswith("10d")
+        assert lines[3].startswith("90d")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = format_bar_chart(
+            {"offline": 10.0, "streaming": 20.0, "postmortem": 1.0},
+            width=20, unit="s",
+        )
+        lines = out.splitlines()
+        stream_bar = [l for l in lines if l.startswith("streaming")][0]
+        pm_bar = [l for l in lines if l.startswith("postmortem")][0]
+        assert stream_bar.count("#") == 20
+        assert pm_bar.count("#") == 1
+
+    def test_empty(self):
+        assert format_bar_chart({}) == ""

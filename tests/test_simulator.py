@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event schedule simulator and cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError, ValidationError
+from repro.parallel.cost_model import (
+    CostModel,
+    calibrate_cost_model,
+    default_cost_model,
+)
+from repro.parallel.partitioners import AUTO, SIMPLE, STATIC
+from repro.parallel.simulator import (
+    EXACT_SIMULATION_LIMIT,
+    simulate_chunk_schedule,
+    simulate_parallel_for,
+)
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        m = default_cost_model()
+        assert m.c_edge > 0 and m.c_vertex > 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            CostModel(c_edge=-1.0)
+
+    def test_spmv_cost_linear(self):
+        m = CostModel(c_edge=1.0, c_vertex=0.5, c_active=0.0)
+        assert m.spmv_iteration_cost(10, 4) == pytest.approx(12.0)
+        assert m.spmv_window_cost(10, 4, 3) == pytest.approx(36.0)
+
+    def test_spmm_amortizes_structure(self):
+        """Per-window SpMM cost must undercut SpMV and approach the
+        per-column floor as k grows — the Section 4.4 effect."""
+        m = CostModel(c_edge=1.0, c_vertex=0.0, c_active=0.5)
+        spmv = m.spmv_window_cost(nnz=100, n_vertices=10, iterations=1)
+        spmm8 = m.spmm_window_cost(100, 10, k=8, iterations=1, active_edges=20)
+        spmm16 = m.spmm_window_cost(100, 10, 16, 1, 20)
+        assert spmm8 < spmv
+        assert spmm16 < spmm8
+        # floor: active-edge math cannot be amortized away
+        assert spmm16 > m.c_active * 20
+
+    def test_batch_iteration_cost(self):
+        m = CostModel(c_edge=1.0, c_vertex=2.0, c_active=0.5)
+        c = m.spmm_iteration_cost(nnz=10, n_vertices=3, k=4,
+                                  sum_active_edges=8)
+        assert c == pytest.approx(10 + 4 + 24)
+
+    def test_with_overrides(self):
+        m = default_cost_model().with_overrides(c_edge=9.0)
+        assert m.c_edge == 9.0
+
+    def test_calibration_produces_sane_magnitudes(self):
+        m = calibrate_cost_model(sizes=(4_000, 8_000), min_seconds=0.001)
+        # per-event cost on any modern machine: between 0.1 ns and 10 us
+        assert 1e-10 < m.c_edge < 1e-5
+        assert m.c_active == pytest.approx(0.5 * m.c_edge)
+        assert m.c_task > 0 and m.c_region > m.c_task
+
+
+class TestChunkSchedule:
+    def test_single_worker_is_sum(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        assert simulate_chunk_schedule(costs, 1) == pytest.approx(6.0)
+
+    def test_perfect_parallelism(self):
+        costs = np.ones(4)
+        assert simulate_chunk_schedule(costs, 4) == pytest.approx(1.0)
+
+    def test_greedy_list_scheduling(self):
+        # chunks [3, 3, 3, 1, 1, 1] on 2 workers, in order:
+        # w0: 3+3=6? greedy: w0:3, w1:3, then w0 and w1 tie -> 3+3, 1s fill
+        costs = np.array([3.0, 3.0, 3.0, 1.0, 1.0, 1.0])
+        got = simulate_chunk_schedule(costs, 2)
+        assert got == pytest.approx(6.0)
+
+    def test_bounded_below_by_max_chunk(self):
+        costs = np.array([10.0, 0.1, 0.1])
+        assert simulate_chunk_schedule(costs, 8) == pytest.approx(10.0)
+
+    def test_static_round_robin_imbalance(self):
+        # alternating heavy/light chunks: round-robin puts all heavy on
+        # worker 0 -> makespan = sum of heavies; stealing interleaves
+        costs = np.array([4.0, 0.0, 4.0, 0.0, 4.0, 0.0])
+        static = simulate_chunk_schedule(costs, 2, steals=False)
+        stealing = simulate_chunk_schedule(costs, 2, steals=True)
+        assert static == pytest.approx(12.0)
+        assert stealing < static
+
+    def test_overhead_charged_per_chunk(self):
+        costs = np.ones(8)
+        base = simulate_chunk_schedule(costs, 2)
+        with_oh = simulate_chunk_schedule(costs, 2, overhead_per_chunk=0.5)
+        assert with_oh == pytest.approx(base + 4 * 0.5)
+
+    def test_large_input_uses_bound(self):
+        n = EXACT_SIMULATION_LIMIT + 1
+        costs = np.ones(n)
+        got = simulate_chunk_schedule(costs, 16)
+        expected = n / 16 + (1 - 1 / 16) * 1.0
+        assert got == pytest.approx(expected)
+
+    def test_bound_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        costs = rng.random(5_000)
+        exact = simulate_chunk_schedule(costs, 8)
+        bound = costs.sum() / 8 + (1 - 1 / 8) * costs.max()
+        assert exact <= bound + 1e-9
+        assert exact >= costs.sum() / 8 - 1e-9
+
+    def test_empty(self):
+        assert simulate_chunk_schedule(np.empty(0), 4) == 0.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SchedulerError):
+            simulate_chunk_schedule(np.ones(2), 0)
+        with pytest.raises(SchedulerError):
+            simulate_chunk_schedule(np.array([-1.0]), 2)
+        with pytest.raises(SchedulerError):
+            simulate_chunk_schedule(np.ones((2, 2)), 2)
+
+
+class TestParallelFor:
+    def test_speedup_saturates_at_items(self):
+        m = CostModel(c_task=0.0, c_region=0.0)
+        items = np.ones(4)
+        t = simulate_parallel_for(items, 1, SIMPLE, n_workers=16, model=m)
+        assert t == pytest.approx(1.0)
+
+    def test_granularity_reduces_parallelism(self):
+        m = CostModel(c_task=0.0, c_region=0.0)
+        items = np.ones(16)
+        fine = simulate_parallel_for(items, 1, SIMPLE, 8, m)
+        coarse = simulate_parallel_for(items, 8, SIMPLE, 8, m)
+        assert fine == pytest.approx(2.0)
+        assert coarse == pytest.approx(8.0)
+
+    def test_auto_beats_simple_on_overhead(self):
+        m = CostModel(c_task=1.0, c_region=0.0)
+        items = np.full(10_000, 1e-6)
+        t_simple = simulate_parallel_for(items, 1, SIMPLE, 8, m)
+        t_auto = simulate_parallel_for(items, 1, AUTO, 8, m)
+        assert t_auto < t_simple
+
+    def test_empty_region_costs_region_overhead(self):
+        m = CostModel(c_region=2.5)
+        assert simulate_parallel_for(np.empty(0), 1, SIMPLE, 4, m) == 2.5

@@ -1,0 +1,95 @@
+"""Tests for the traced simulator and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel.simulator import simulate_chunk_schedule
+from repro.parallel.tracing import (
+    ChunkTrace,
+    format_gantt,
+    simulate_chunk_schedule_traced,
+)
+
+
+class TestTracedSchedule:
+    def test_makespan_matches_untraced(self):
+        rng = np.random.default_rng(11)
+        costs = rng.random(500)
+        for steals in (True, False):
+            t_plain = simulate_chunk_schedule(costs, 7, steals=steals)
+            t_traced, traces = simulate_chunk_schedule_traced(
+                costs, 7, steals=steals
+            )
+            assert t_traced == pytest.approx(t_plain)
+            assert len(traces) == costs.size
+
+    def test_traces_are_consistent(self):
+        costs = np.array([3.0, 1.0, 2.0, 1.0, 1.0])
+        makespan, traces = simulate_chunk_schedule_traced(costs, 2)
+        # every chunk appears once with its cost as duration
+        assert sorted(t.chunk for t in traces) == list(range(5))
+        for t in traces:
+            assert t.duration == pytest.approx(costs[t.chunk])
+        # per-worker intervals never overlap
+        for w in (0, 1):
+            mine = sorted(
+                (t for t in traces if t.worker == w),
+                key=lambda t: t.start,
+            )
+            for a, b in zip(mine, mine[1:]):
+                assert b.start >= a.end - 1e-12
+        assert makespan == pytest.approx(max(t.end for t in traces))
+
+    def test_overhead_added(self):
+        costs = np.ones(4)
+        m0, _ = simulate_chunk_schedule_traced(costs, 2)
+        m1, _ = simulate_chunk_schedule_traced(
+            costs, 2, overhead_per_chunk=0.5
+        )
+        assert m1 == pytest.approx(m0 + 1.0)
+
+    def test_empty(self):
+        makespan, traces = simulate_chunk_schedule_traced(np.empty(0), 3)
+        assert makespan == 0.0 and traces == []
+
+    def test_limits(self):
+        with pytest.raises(SchedulerError):
+            simulate_chunk_schedule_traced(np.ones(2), 0)
+        with pytest.raises(SchedulerError):
+            simulate_chunk_schedule_traced(np.array([-1.0]), 2)
+        with pytest.raises(SchedulerError):
+            simulate_chunk_schedule_traced(np.ones(100_001), 2)
+
+
+class TestGantt:
+    def test_renders_all_workers(self):
+        costs = np.array([2.0, 1.0, 1.0])
+        makespan, traces = simulate_chunk_schedule_traced(costs, 2)
+        out = format_gantt(traces, 2, width=40, makespan=makespan)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 workers
+        assert lines[1].startswith("w0")
+        assert "%" in lines[1]
+
+    def test_idle_worker_shows_zero_utilization(self):
+        traces = [ChunkTrace(0, 0, 0.0, 1.0)]
+        out = format_gantt(traces, 2, width=20)
+        w1 = out.splitlines()[2]
+        assert "0.0%" in w1
+
+    def test_empty(self):
+        assert "empty" in format_gantt([], 2)
+
+    def test_imbalance_visible(self):
+        # round-robin static deal with alternating heavy chunks: worker 0
+        # is busy far longer than worker 1
+        costs = np.array([4.0, 0.1] * 4)
+        makespan, traces = simulate_chunk_schedule_traced(
+            costs, 2, steals=False
+        )
+        out = format_gantt(traces, 2, width=40, makespan=makespan)
+        lines = out.splitlines()
+        util0 = float(lines[1].rsplit(" ", 1)[-1].rstrip("%"))
+        util1 = float(lines[2].rsplit(" ", 1)[-1].rstrip("%"))
+        assert util0 > 90 and util1 < 15

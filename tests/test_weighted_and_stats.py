@@ -1,0 +1,149 @@
+"""Tests for weighted PageRank and per-window structural statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.graph_stats import (
+    degree_histogram,
+    triangle_count,
+    window_stats,
+)
+from repro.events import TemporalEventSet, Window
+from repro.graph import TemporalAdjacency
+from repro.pagerank import PagerankConfig, pagerank_window
+from repro.pagerank.weighted import (
+    pagerank_window_weighted,
+    window_edge_weights,
+)
+from tests.conftest import random_events
+
+CFG = PagerankConfig(tolerance=1e-12, max_iterations=400)
+
+
+class TestWindowEdgeWeights:
+    def test_counts_multiplicities(self):
+        # (0 -> 1) three times, twice inside the window; (0 -> 2) once
+        events = TemporalEventSet(
+            [0, 0, 0, 0], [1, 1, 1, 2], [5, 10, 50, 12]
+        )
+        adj = TemporalAdjacency.from_events(events)
+        dedup, weights = window_edge_weights(adj.out_csr, 0, 20)
+        got = {
+            (int(adj.out_csr.row_ids()[j]), int(adj.out_csr.col[j])):
+                weights[j]
+            for j in np.flatnonzero(dedup)
+        }
+        assert got == {(0, 1): 2.0, (0, 2): 1.0}
+
+    def test_total_weight_equals_active_events(self, adjacency, spec):
+        for w in spec:
+            dedup, weights = window_edge_weights(
+                adjacency.in_csr, w.t_start, w.t_end
+            )
+            active = adjacency.in_csr.active_mask(w.t_start, w.t_end)
+            assert weights[dedup].sum() == active.sum()
+
+    def test_empty_structure(self):
+        events = TemporalEventSet([], [], [], n_vertices=3)
+        adj = TemporalAdjacency.from_events(events)
+        dedup, weights = window_edge_weights(adj.in_csr, 0, 10)
+        assert dedup.size == 0 and weights.size == 0
+
+
+class TestWeightedPagerank:
+    def test_equals_unweighted_when_no_duplicates(self):
+        # distinct (u, v) pairs only -> all multiplicities are 1
+        events = TemporalEventSet(
+            [0, 1, 2, 3], [1, 2, 3, 0], [1, 2, 3, 4]
+        )
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 10))
+        a = pagerank_window(view, CFG)
+        b = pagerank_window_weighted(view, CFG)
+        assert np.allclose(a.values, b.values, atol=1e-12)
+
+    def test_matches_networkx_weighted(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(83)
+        n, m = 20, 300
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        keep = src != dst
+        t = np.sort(rng.integers(0, 1_000, int(keep.sum())))
+        events = TemporalEventSet(src[keep], dst[keep], t, n_vertices=n)
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 1_000))
+        ours = pagerank_window_weighted(view, CFG)
+
+        g = nx.DiGraph()
+        for u, v in zip(events.src.tolist(), events.dst.tolist()):
+            if g.has_edge(u, v):
+                g[u][v]["weight"] += 1.0
+            else:
+                g.add_edge(u, v, weight=1.0)
+        ref = nx.pagerank(g, alpha=CFG.damping, tol=1e-14, max_iter=2000,
+                          weight="weight")
+        for v, s in ref.items():
+            assert ours.values[v] == pytest.approx(s, abs=1e-8), v
+
+    def test_multiplicity_shifts_rank(self):
+        # v1 and v2 both receive from v0, but v0 -> v1 fires 9 times
+        rows = [(0, 1, t) for t in range(9)] + [
+            (0, 2, 9), (1, 0, 10), (2, 0, 11),
+        ]
+        events = TemporalEventSet(
+            [r[0] for r in rows], [r[1] for r in rows], [r[2] for r in rows]
+        )
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 20))
+        unweighted = pagerank_window(view, CFG)
+        weighted = pagerank_window_weighted(view, CFG)
+        # unweighted treats v1 and v2 symmetrically
+        assert unweighted.values[1] == pytest.approx(unweighted.values[2])
+        # weighted favours the high-multiplicity target
+        assert weighted.values[1] > weighted.values[2]
+
+    def test_mass_conserved(self, adjacency, spec):
+        for w in spec:
+            view = adjacency.window_view(w)
+            r = pagerank_window_weighted(view, CFG)
+            if view.n_active_vertices:
+                assert r.total_mass == pytest.approx(1.0, abs=1e-8)
+
+
+class TestGraphStats:
+    def test_triangles_match_networkx(self):
+        nx = pytest.importorskip("networkx")
+        events = random_events(n_vertices=25, n_events=300, seed=87)
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 10_000))
+        got = triangle_count(view)
+        g = nx.Graph()
+        compact = view.compact_graph()
+        src, dst = compact.edges()
+        g.add_edges_from(
+            (int(u), int(v)) for u, v in zip(src, dst) if u != v
+        )
+        ref = sum(nx.triangles(g).values()) // 3
+        assert got == ref
+
+    def test_known_triangle(self):
+        events = TemporalEventSet([0, 1, 2], [1, 2, 0], [1, 2, 3])
+        adj = TemporalAdjacency.from_events(events)
+        view = adj.window_view(Window(0, 0, 10))
+        assert triangle_count(view) == 1
+        stats = window_stats(view)
+        assert stats.triangles == 1
+        assert stats.transitivity == pytest.approx(1.0)
+        assert stats.n_vertices == 3 and stats.n_edges == 3
+
+    def test_degree_histogram_sums_to_vertices(self, adjacency, spec):
+        view = adjacency.window_view(spec.window(0))
+        hist = degree_histogram(view)
+        assert hist.sum() == view.n_active_vertices
+
+    def test_empty_window_stats(self, adjacency):
+        view = adjacency.window_view(Window(0, 10**9, 10**9 + 1))
+        assert triangle_count(view) == 0
+        s = window_stats(view)
+        assert s.n_vertices == 0 and s.density == 0.0

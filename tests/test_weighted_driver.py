@@ -1,0 +1,123 @@
+"""Tests for the weighted postmortem driver mode and simulator-calibration
+sanity."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.events import TemporalEventSet, Window, WindowSpec
+from repro.graph import TemporalAdjacency
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.pagerank import PagerankConfig, pagerank_window_weighted
+from tests.conftest import random_events
+
+CFG = PagerankConfig(tolerance=1e-12, max_iterations=300)
+
+
+class TestWeightedDriver:
+    def test_matches_direct_kernel(self):
+        events = random_events(n_vertices=25, n_events=600, seed=6)
+        spec = WindowSpec.covering(events, delta=2_500, sw=800)
+        run = PostmortemDriver(
+            events, spec, CFG,
+            PostmortemOptions(n_multiwindows=3, weighted=True),
+        ).run()
+        adj = TemporalAdjacency.from_events(events)
+        for w in spec:
+            direct = pagerank_window_weighted(adj.window_view(w), CFG)
+            assert np.allclose(
+                run.window(w.index).values, direct.values, atol=1e-9
+            ), w.index
+
+    def test_weighted_requires_spmv(self):
+        with pytest.raises(ValidationError):
+            PostmortemOptions(weighted=True, kernel="spmm")
+
+    def test_weighted_differs_on_multigraph(self):
+        # heavy duplicate edges: weighted and unweighted rankings differ
+        rows = [(0, 1, t) for t in range(20)] + [
+            (0, 2, 25), (1, 0, 30), (2, 0, 31), (1, 2, 32),
+        ]
+        events = TemporalEventSet(
+            [r[0] for r in rows], [r[1] for r in rows], [r[2] for r in rows]
+        )
+        spec = WindowSpec(t0=0, delta=40, sw=40, n_windows=1)
+        weighted = PostmortemDriver(
+            events, spec, CFG, PostmortemOptions(weighted=True)
+        ).run()
+        plain = PostmortemDriver(events, spec, CFG).run()
+        assert not np.allclose(
+            weighted.windows[0].values, plain.windows[0].values
+        )
+
+
+@st.composite
+def weighted_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=50))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    t = draw(st.lists(st.integers(0, 60), min_size=m, max_size=m))
+    events = TemporalEventSet(src, dst, t, n_vertices=n)
+    adj = TemporalAdjacency.from_events(events)
+    return adj.window_view(Window(0, 0, 60))
+
+
+class TestWeightedProperties:
+    @given(weighted_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_mass_and_support(self, view):
+        r = pagerank_window_weighted(view, CFG)
+        if view.n_active_vertices:
+            assert np.isclose(r.values.sum(), 1.0, atol=1e-8)
+        assert np.all(r.values >= 0)
+        assert np.all(r.values[~view.active_vertices_mask] == 0)
+
+    @given(weighted_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_fixed_point(self, view):
+        r = pagerank_window_weighted(view, CFG)
+        if not r.converged or view.n_active_vertices == 0:
+            return
+        again = pagerank_window_weighted(
+            view, PagerankConfig(tolerance=1e-15, max_iterations=1),
+            x0=r.values,
+        )
+        assert np.abs(again.values - r.values).sum() < 10 * CFG.tolerance
+
+
+class TestCalibrationSanity:
+    def test_one_worker_simulation_tracks_serial_time(self):
+        """The calibrated cost model's 1-worker makespan must be within a
+        small factor of real measured serial wall-clock — the property
+        that makes the P-worker makespan a meaningful counterfactual."""
+        from repro.parallel import (
+            MachineSpec,
+            calibrate_cost_model,
+            collect_window_stats,
+            estimate_makespan,
+        )
+
+        events = random_events(n_vertices=80, n_events=6_000,
+                               t_max=100_000, seed=91)
+        spec = WindowSpec.covering(events, delta=20_000, sw=4_000)
+        cfg = PagerankConfig()
+        stats = collect_window_stats(events, spec, cfg, 4)
+        model = calibrate_cost_model(sizes=(4_000, 8_000, 16_000))
+
+        driver = PostmortemDriver(
+            events, spec, cfg, PostmortemOptions(n_multiwindows=4)
+        )
+        t0 = time.perf_counter()
+        driver.run(store_values=False)
+        measured = time.perf_counter() - t0
+
+        simulated = estimate_makespan(
+            stats, MachineSpec(1), model, "application", granularity=10**9
+        )
+        ratio = simulated / measured
+        assert 0.2 < ratio < 5.0, (simulated, measured)

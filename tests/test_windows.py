@@ -1,0 +1,133 @@
+"""Unit tests for the sliding-window model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WindowSpecError
+from repro.events import TemporalEventSet, Window, WindowSpec
+from tests.conftest import random_events
+
+
+class TestWindow:
+    def test_contains_inclusive(self):
+        w = Window(index=0, t_start=10, t_end=20)
+        assert w.contains(10) and w.contains(20)
+        assert not w.contains(9) and not w.contains(21)
+
+    def test_contains_vectorized(self):
+        w = Window(index=0, t_start=10, t_end=20)
+        out = w.contains(np.array([5, 10, 15, 25]))
+        assert out.tolist() == [False, True, True, False]
+
+    def test_overlaps(self):
+        a = Window(0, 0, 10)
+        b = Window(1, 5, 15)
+        c = Window(2, 11, 20)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_length(self):
+        assert Window(0, 3, 10).length == 7
+
+
+class TestWindowSpec:
+    def test_windows_slide(self):
+        spec = WindowSpec(t0=0, delta=100, sw=30, n_windows=4)
+        ws = spec.windows()
+        assert [w.t_start for w in ws] == [0, 30, 60, 90]
+        assert [w.t_end for w in ws] == [100, 130, 160, 190]
+        assert [w.index for w in ws] == [0, 1, 2, 3]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WindowSpecError):
+            WindowSpec(t0=0, delta=0, sw=1, n_windows=1)
+        with pytest.raises(WindowSpecError):
+            WindowSpec(t0=0, delta=1, sw=0, n_windows=1)
+        with pytest.raises(WindowSpecError):
+            WindowSpec(t0=0, delta=1, sw=1, n_windows=0)
+
+    def test_window_index_bounds(self):
+        spec = WindowSpec(t0=0, delta=10, sw=5, n_windows=3)
+        with pytest.raises(WindowSpecError):
+            spec.window(3)
+        with pytest.raises(WindowSpecError):
+            spec.window(-1)
+
+    def test_covering_starts_at_dataset(self):
+        es = random_events(seed=2)
+        spec = WindowSpec.covering(es, delta=2_000, sw=700)
+        assert spec.t0 == es.t_min
+        # last window starts at or before t_max, next would start after
+        last_start = spec.t0 + (spec.n_windows - 1) * spec.sw
+        assert last_start <= es.t_max
+        assert last_start + spec.sw > es.t_max
+
+    def test_covering_days(self):
+        es = TemporalEventSet([0, 1], [1, 0], [0, 40 * 86_400])
+        spec = WindowSpec.covering_days(es, 10, 86_400 * 5)
+        assert spec.delta == 10 * 86_400
+        assert spec.sw == 5 * 86_400
+
+    def test_overlap_fraction(self):
+        assert WindowSpec(0, 100, 25, 2).overlap_fraction == 0.75
+        assert WindowSpec(0, 10, 20, 2).overlap_fraction == 0.0
+
+    def test_starts_ends(self):
+        spec = WindowSpec(t0=5, delta=10, sw=3, n_windows=3)
+        assert spec.starts().tolist() == [5, 8, 11]
+        assert spec.ends().tolist() == [15, 18, 21]
+        assert spec.t_end == 21
+
+    def test_iteration(self):
+        spec = WindowSpec(t0=0, delta=10, sw=5, n_windows=4)
+        assert len(list(spec)) == 4
+        assert len(spec) == 4
+
+
+class TestWindowMembership:
+    def test_windows_containing(self):
+        spec = WindowSpec(t0=0, delta=100, sw=30, n_windows=4)
+        # t=95 is in windows starting at 0, 30, 60, 90 (all contain 95)
+        assert spec.windows_containing(95).tolist() == [0, 1, 2, 3]
+        # t=10 only in window 0
+        assert spec.windows_containing(10).tolist() == [0]
+        # before all windows
+        assert spec.windows_containing(-1).size == 0
+
+    def test_windows_containing_matches_bruteforce(self):
+        spec = WindowSpec(t0=7, delta=50, sw=13, n_windows=9)
+        for t in range(0, 250, 3):
+            brute = [w.index for w in spec if w.t_start <= t <= w.t_end]
+            assert spec.windows_containing(t).tolist() == brute, t
+
+    def test_first_last_window_vectorized(self):
+        spec = WindowSpec(t0=0, delta=100, sw=30, n_windows=4)
+        t = np.array([0, 31, 95, 130])
+        firsts = spec.first_window_of(t)
+        lasts = spec.last_window_of(t)
+        for i, tt in enumerate(t):
+            members = spec.windows_containing(int(tt))
+            if members.size:
+                assert firsts[i] == members[0]
+                assert lasts[i] == members[-1]
+
+    def test_multiplicity(self):
+        spec = WindowSpec(t0=0, delta=100, sw=30, n_windows=4)
+        mult = spec.event_window_multiplicity(np.array([95, 10, 200]))
+        assert mult.tolist() == [4, 1, 0]
+
+
+class TestSubspec:
+    def test_subspec_times(self):
+        spec = WindowSpec(t0=0, delta=100, sw=30, n_windows=10)
+        sub = spec.subspec(3, 4)
+        assert sub.t0 == 90
+        assert sub.n_windows == 4
+        assert sub.window(0).t_start == spec.window(3).t_start
+
+    def test_subspec_bounds(self):
+        spec = WindowSpec(t0=0, delta=10, sw=5, n_windows=4)
+        with pytest.raises(WindowSpecError):
+            spec.subspec(2, 3)
+        with pytest.raises(WindowSpecError):
+            spec.subspec(-1, 2)
