@@ -1,0 +1,170 @@
+"""Serving-path performance: the rank store's first perf baseline.
+
+Three claims, asserted on a ~100k-vertex, 200-window synthetic store:
+
+* cached ``top_k`` answers in well under a millisecond at p50 (the LRU
+  holds the materialized leaderboard — a hit never touches the matrix);
+* batched evaluation beats one-at-a-time evaluation when the working set
+  exceeds the slice cache, because grouping by window turns N decodes
+  into one per distinct window;
+* the streaming writer's peak memory is independent of window count
+  (rows go straight to their file offset).
+
+Results are printed, persisted as text, and emitted as JSON
+(``benchmarks/output/serving_latency.json``) for trend tracking.
+
+Run:  pytest benchmarks/bench_serving_latency.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from statistics import median
+
+import numpy as np
+import pytest
+
+from benchmarks._common import OUTPUT_DIR, emit
+from repro.reporting import format_table
+from repro.service import QueryEngine, RankStoreWriter
+
+N_VERTICES = 100_000
+N_WINDOWS = 200
+SAMPLE_WINDOWS = 60
+N_QUERIES = 1_500
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serving") / "bench.rankstore"
+    rng = np.random.default_rng(42)
+    with RankStoreWriter(path, n_windows=N_WINDOWS,
+                         n_vertices=N_VERTICES) as w:
+        for i in range(N_WINDOWS):
+            row = rng.random(N_VERTICES, dtype=np.float32)
+            w.write_window(i, row / row.sum())
+    return path
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    return {
+        "p50_ms": median(ordered) * 1e3,
+        "p95_ms": ordered[int(0.95 * (len(ordered) - 1))] * 1e3,
+    }
+
+
+def test_serving_latency(store_path):
+    rng = np.random.default_rng(7)
+    windows = rng.choice(N_WINDOWS, size=SAMPLE_WINDOWS, replace=False)
+
+    engine = QueryEngine(store_path, slice_cache_size=N_WINDOWS)
+    cold, cached = [], []
+    for w in windows:
+        t0 = time.perf_counter()
+        first = engine.top_k(int(w), 10)
+        cold.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        again = engine.top_k(int(w), 10)
+        cached.append(time.perf_counter() - t0)
+        assert first == again
+
+    cold_stats, cached_stats = _percentiles(cold), _percentiles(cached)
+
+    # -- batched vs unbatched throughput under cache pressure -----------
+    # top-k queries arriving in random window order, with caches far
+    # smaller than the working set: one-at-a-time evaluation recomputes
+    # the leaderboard per query, batching groups queries per window
+    queries = [
+        {"op": "top_k", "window": int(rng.integers(N_WINDOWS)), "k": 10}
+        for _ in range(N_QUERIES)
+    ]
+
+    def fresh_engine():
+        return QueryEngine(store_path, slice_cache_size=8,
+                           topk_cache_size=8)
+
+    small = fresh_engine()
+    t0 = time.perf_counter()
+    for q in queries:
+        small.top_k(q["window"], q["k"])
+    unbatched_s = time.perf_counter() - t0
+    small.close()
+
+    small = fresh_engine()
+    t0 = time.perf_counter()
+    results = small.batch(queries)
+    batched_s = time.perf_counter() - t0
+    assert all(r["ok"] for r in results)
+    small.close()
+
+    # -- streaming writer peak memory vs window count -------------------
+    def writer_peak(n_windows: int) -> int:
+        path = store_path.parent / f"mem{n_windows}.rankstore"
+        row = np.random.default_rng(0).random(N_VERTICES)
+        writer = RankStoreWriter(path, n_windows=n_windows,
+                                 n_vertices=N_VERTICES)
+        tracemalloc.start()
+        for i in range(n_windows):
+            writer.write_window(i, row)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        writer.close()
+        return peak
+
+    peak_few, peak_many = writer_peak(25), writer_peak(200)
+
+    payload = {
+        "store": {"windows": N_WINDOWS, "vertices": N_VERTICES},
+        "top_k_cold": cold_stats,
+        "top_k_cached": cached_stats,
+        "throughput": {
+            "queries": N_QUERIES,
+            "unbatched_qps": N_QUERIES / unbatched_s,
+            "batched_qps": N_QUERIES / batched_s,
+            "speedup": unbatched_s / batched_s,
+        },
+        "writer_peak_bytes": {"windows_25": peak_few,
+                              "windows_200": peak_many},
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "serving_latency.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        ["top-k cold", f"{cold_stats['p50_ms']:.3f}",
+         f"{cold_stats['p95_ms']:.3f}"],
+        ["top-k cached", f"{cached_stats['p50_ms']:.3f}",
+         f"{cached_stats['p95_ms']:.3f}"],
+    ]
+    text = format_table(
+        ["query", "p50 (ms)", "p95 (ms)"], rows,
+        title=(
+            f"serving latency on {N_WINDOWS} windows x "
+            f"{N_VERTICES:,} vertices"
+        ),
+    )
+    text += (
+        f"\n\nthroughput: unbatched "
+        f"{payload['throughput']['unbatched_qps']:,.0f} q/s, batched "
+        f"{payload['throughput']['batched_qps']:,.0f} q/s "
+        f"({payload['throughput']['speedup']:.1f}x)"
+        f"\nwriter peak memory: {peak_few / 1e6:.1f} MB @ 25 windows, "
+        f"{peak_many / 1e6:.1f} MB @ 200 windows"
+    )
+    emit("serving_latency", text)
+
+    # the acceptance claims
+    assert cached_stats["p50_ms"] < 1.0
+    assert payload["throughput"]["batched_qps"] > \
+        payload["throughput"]["unbatched_qps"]
+    # writer memory does not scale with window count (8x the windows,
+    # far less than 8x the peak)
+    assert peak_many < peak_few * 1.5
+
+    stats = engine.stats()
+    assert stats["topk_cache"]["hits"] == SAMPLE_WINDOWS
+    engine.close()

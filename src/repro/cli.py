@@ -9,17 +9,26 @@ Usage (also available as ``python -m repro``)::
     repro-temporal sweep wiki.npz --delta-days 90 --sw 86400 --workers 48
     repro-temporal kernel wiki.npz --delta-days 90 --sw 86400 --name maxcore
     repro-temporal report --output-dir benchmarks/output --out REPORT.md
+    repro-temporal run wiki.npz --delta-days 90 --sw 86400 --store wiki.rankstore
+    repro-temporal inspect wiki.rankstore
+    repro-temporal query wiki.rankstore top-k --window 3 -k 10
+    repro-temporal serve wiki.rankstore --port 8321
 
 * **generate** — write a synthetic dataset profile to ``.npz``/``.tsv``.
 * **info** — event counts, span, temporal shape classification.
 * **run** — postmortem PageRank over the sliding windows; per-window top
-  vertices.
+  vertices.  ``--save`` archives the run (``.npz``); ``--store`` streams a
+  servable rank store to disk.
 * **compare** — measured wall-clock of offline / streaming / postmortem.
 * **sweep** — simulated multicore sweep of level x granularity (the
   Section 6.3.6 tuning aid).
 * **kernel** — a non-PageRank analysis (components / maxcore / triangles /
   katz) per window.
 * **report** — collate benchmark outputs into one Markdown report.
+* **inspect** — describe a saved run archive or rank store.
+* **query** — answer top-k / rank / trajectory / movers / window-at
+  queries against a rank store.
+* **serve** — JSON-over-HTTP query server with request micro-batching.
 """
 
 from __future__ import annotations
@@ -75,6 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="top vertices to print per window")
     p_run.add_argument("--every", type=int, default=1,
                        help="print every Nth window")
+    p_run.add_argument("--save", default=None, metavar="PATH",
+                       help="archive the run to a .npz (see `inspect`)")
+    p_run.add_argument("--no-compress", action="store_true",
+                       help="save the archive uncompressed so load_run "
+                       "can memory-map it")
+    p_run.add_argument("--store", default=None, metavar="PATH",
+                       help="stream a servable rank store to PATH "
+                       "(see `serve` / `query`)")
+    p_run.add_argument("--store-dtype", default="float32",
+                       choices=["float32", "float64"],
+                       help="rank store precision (float64 preserves the "
+                       "solver's vectors bitwise)")
 
     p_cmp = sub.add_parser(
         "compare", help="offline vs streaming vs postmortem wall-clock"
@@ -111,6 +132,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of .txt artifacts",
     )
     p_rep.add_argument("--out", default=None, help="write Markdown here")
+
+    p_ins = sub.add_parser(
+        "inspect", help="describe a saved run archive or rank store"
+    )
+    p_ins.add_argument("archive", help=".npz run archive or .rankstore")
+
+    p_query = sub.add_parser(
+        "query", help="query a rank store from the command line"
+    )
+    p_query.add_argument("store", help="rank store path")
+    qsub = p_query.add_subparsers(dest="op", required=True)
+
+    q_topk = qsub.add_parser("top-k", help="highest-ranked vertices")
+    q_topk.add_argument("--window", type=int, required=True)
+    q_topk.add_argument("-k", type=int, default=10)
+
+    q_rank = qsub.add_parser("rank", help="one vertex's rank in a window")
+    q_rank.add_argument("--vertex", type=int, required=True)
+    q_rank.add_argument("--window", type=int, required=True)
+
+    q_traj = qsub.add_parser(
+        "trajectory", help="a vertex's rank across a window range"
+    )
+    q_traj.add_argument("--vertex", type=int, required=True)
+    q_traj.add_argument("--start", type=int, default=0)
+    q_traj.add_argument("--stop", type=int, default=None)
+
+    q_mov = qsub.add_parser(
+        "movers", help="largest rank deltas between two windows"
+    )
+    q_mov.add_argument("--from", dest="w_from", type=int, required=True)
+    q_mov.add_argument("--to", dest="w_to", type=int, required=True)
+    q_mov.add_argument("-k", type=int, default=10)
+
+    q_wat = qsub.add_parser(
+        "window-at", help="windows containing a timestamp"
+    )
+    q_wat.add_argument("--t", type=int, required=True)
+
+    p_srv = sub.add_parser(
+        "serve", help="serve a rank store over JSON/HTTP"
+    )
+    p_srv.add_argument("store", help="rank store path")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8321)
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    p_srv.add_argument("--max-batch", type=int, default=64,
+                       help="max queries coalesced into one engine batch")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log every request")
 
     return parser
 
@@ -210,7 +282,26 @@ def cmd_run(args, out) -> int:
         vector_length=args.vector_length,
         partition_method=args.partition,
     )
-    run = PostmortemDriver(events, spec, _make_config(args), options).run()
+    driver = PostmortemDriver(events, spec, _make_config(args), options)
+    if args.store:
+        from repro.service import RankStoreWriter
+
+        with RankStoreWriter(
+            args.store,
+            n_windows=spec.n_windows,
+            n_vertices=events.n_vertices,
+            spec=spec,
+            dtype=args.store_dtype,
+        ) as writer:
+            run = driver.run(value_sink=writer.write_window)
+        print(f"wrote rank store to {args.store}", file=out)
+    else:
+        run = driver.run()
+    if args.save:
+        from repro.models import save_run
+
+        save_run(run, args.save, compress=not args.no_compress)
+        print(f"saved run archive to {args.save}", file=out)
     rows = []
     for w in run.windows[:: max(args.every, 1)]:
         top = ", ".join(
@@ -352,6 +443,126 @@ def cmd_kernel(args, out) -> int:
     return 0
 
 
+def cmd_inspect(args, out) -> int:
+    from repro.reporting import format_kv
+    from repro.service.store import RankStore, is_rank_store
+
+    if is_rank_store(args.archive):
+        with RankStore(args.archive) as store:
+            print(format_kv(store.info(), title=args.archive), file=out)
+        return 0
+
+    from repro.models import load_run
+
+    run = load_run(args.archive)
+    n_vertices = run.windows[0].values.shape[0] if run.windows else 0
+    info = {
+        "format": "run archive (.npz)",
+        "model": run.model,
+        "windows": run.n_windows,
+        "vertices": n_vertices,
+        "total iterations": run.total_iterations,
+        "all converged": run.all_converged,
+        "total seconds": round(run.total_time, 3),
+    }
+    print(format_kv(info, title=args.archive), file=out)
+    return 0
+
+
+def cmd_query(args, out) -> int:
+    from repro.reporting import format_table
+    from repro.service import QueryEngine
+
+    engine = QueryEngine(args.store)
+    try:
+        if args.op == "top-k":
+            rows = [
+                [rank + 1, v, f"{s:.6f}"]
+                for rank, (v, s) in enumerate(
+                    engine.top_k(args.window, args.k)
+                )
+            ]
+            print(
+                format_table(
+                    ["#", "vertex", "score"], rows,
+                    title=f"top-{args.k} of window {args.window}",
+                ),
+                file=out,
+            )
+        elif args.op == "rank":
+            score = engine.rank(args.vertex, args.window)
+            print(
+                f"vertex {args.vertex} in window {args.window}: "
+                f"{score:.6f}",
+                file=out,
+            )
+        elif args.op == "trajectory":
+            traj = engine.trajectory(args.vertex, args.start, args.stop)
+            stop = args.start + traj.size
+            rows = [
+                [w, f"{s:.6f}"]
+                for w, s in zip(range(args.start, stop), traj)
+            ]
+            print(
+                format_table(
+                    ["window", "score"], rows,
+                    title=f"trajectory of vertex {args.vertex}",
+                ),
+                file=out,
+            )
+        elif args.op == "movers":
+            rows = [
+                [m["vertex"], f"{m['delta']:+.6f}",
+                 f"{m['rank_from']:.6f}", f"{m['rank_to']:.6f}"]
+                for m in engine.movers(args.w_from, args.w_to, args.k)
+            ]
+            print(
+                format_table(
+                    ["vertex", "delta", f"w{args.w_from}", f"w{args.w_to}"],
+                    rows,
+                    title=f"movers {args.w_from} -> {args.w_to}",
+                ),
+                file=out,
+            )
+        elif args.op == "window-at":
+            windows = engine.windows_at(args.t)
+            print(
+                f"t={args.t} falls in windows: "
+                f"{', '.join(map(str, windows)) or '(none)'}",
+                file=out,
+            )
+    finally:
+        engine.close()
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    from repro.service import QueryServer
+
+    server = QueryServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        verbose=args.verbose,
+    )
+    store = server.engine.store
+    print(
+        f"serving {args.store} ({store.n_windows} windows x "
+        f"{store.n_vertices} vertices) on {server.url} "
+        f"({args.workers} workers; Ctrl-C to stop)",
+        file=out,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def cmd_report(args, out) -> int:
     from repro.reporting.report import generate_report
 
@@ -372,6 +583,9 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "kernel": cmd_kernel,
     "report": cmd_report,
+    "inspect": cmd_inspect,
+    "query": cmd_query,
+    "serve": cmd_serve,
 }
 
 

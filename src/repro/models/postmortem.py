@@ -162,9 +162,28 @@ class PostmortemDriver:
                 )
         return self._partition
 
-    def run(self, store_values: bool = True) -> RunResult:
+    def run(
+        self,
+        store_values: bool = True,
+        value_sink=None,
+    ) -> RunResult:
         """Solve every window; ``store_values=False`` keeps only per-window
-        summaries (benchmark mode)."""
+        summaries (benchmark mode).
+
+        ``value_sink`` is an optional callback ``sink(window_index, values,
+        meta)`` invoked with each window's *global* rank vector the moment
+        it is solved — e.g. ``RankStoreWriter.write_window`` to stream a
+        servable rank store to disk.  Combined with ``store_values=False``
+        a run persists every vector while holding only one in memory at a
+        time.  The sink may be called concurrently under the ``"thread"``
+        executor (rank-store writers lock internally); the ``"process"``
+        executor cannot ship a callback to its workers.
+        """
+        if value_sink is not None and self.options.executor == "process":
+            raise ValidationError(
+                "value_sink is not supported with executor='process' "
+                "(the callback cannot cross the process boundary)"
+            )
         result = RunResult(model=self.model_name)
         with result.timings.phase("build"):
             partition = self.partition
@@ -194,6 +213,7 @@ class PostmortemDriver:
                             self.options,
                             self.events.n_vertices,
                             store_values,
+                            value_sink,
                         )
                         for i, g in enumerate(partition)
                     ]
@@ -205,7 +225,9 @@ class PostmortemDriver:
         else:
             with result.timings.phase("pagerank"):
                 for g in partition:
-                    wrs, tasks, work = self._solve_graph(g, store_values)
+                    wrs, tasks, work = self._solve_graph(
+                        g, store_values, value_sink
+                    )
                     window_results.update(wrs)
                     task_log.extend(tasks)
                     result.work.merge(work)
@@ -221,7 +243,9 @@ class PostmortemDriver:
         return result
 
     # ------------------------------------------------------------------
-    def _solve_graph(self, graph: MultiWindowGraph, store_values: bool):
+    def _solve_graph(
+        self, graph: MultiWindowGraph, store_values: bool, value_sink=None
+    ):
         """Solve every window of one multi-window graph (one sequential
         partial-init chain)."""
         mw_index = self.partition.graphs.index(graph)
@@ -232,6 +256,7 @@ class PostmortemDriver:
             self.options,
             self.events.n_vertices,
             store_values,
+            value_sink,
         )
 
 
@@ -246,21 +271,25 @@ def _emit_window(
     out: Dict[int, WindowResult],
     store_values: bool,
     n_global_vertices: int,
+    value_sink=None,
 ) -> None:
     values = (
         graph.to_global(local_values, n_global_vertices)
-        if store_values
+        if store_values or value_sink is not None
         else None
     )
-    out[window] = WindowResult(
+    result = WindowResult(
         window_index=window,
-        values=values,
+        values=values if store_values else None,
         iterations=iterations,
         converged=converged,
         residual=residual,
         n_active_vertices=view.n_active_vertices,
         n_active_edges=view.n_active_edges,
     )
+    if value_sink is not None:
+        value_sink(window, values, result)
+    out[window] = result
 
 
 def solve_multiwindow_graph(
@@ -270,6 +299,7 @@ def solve_multiwindow_graph(
     options: PostmortemOptions,
     n_global_vertices: int,
     store_values: bool,
+    value_sink=None,
 ):
     """Solve every window of one multi-window graph.
 
@@ -333,6 +363,7 @@ def solve_multiwindow_graph(
                 window_results,
                 store_values,
                 n_global_vertices,
+                value_sink,
             )
             tasks.append(
                 TaskRecord(
@@ -363,6 +394,7 @@ def solve_multiwindow_graph(
                     window_results,
                     store_values,
                     n_global_vertices,
+                    value_sink,
                 )
             tasks.append(
                 TaskRecord(

@@ -1,0 +1,26 @@
+"""The serving layer: precompute once, answer queries forever.
+
+The postmortem model computes PageRank for *every* window up front, so the
+natural production shape is precompute-then-serve: a run is flushed to an
+on-disk :class:`~repro.service.store.RankStore` (a memory-mapped
+``(n_windows, n_vertices)`` float32 matrix plus a window-metadata index),
+and a :class:`~repro.service.engine.QueryEngine` answers top-k / rank /
+trajectory / movers queries over mmap slices without ever loading the full
+matrix.  :class:`~repro.service.server.QueryServer` exposes the engine over
+JSON-over-HTTP with request micro-batching.
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.engine import QueryEngine
+from repro.service.server import QueryServer
+from repro.service.store import RankStore, RankStoreWriter, write_store
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "QueryEngine",
+    "QueryServer",
+    "RankStore",
+    "RankStoreWriter",
+    "write_store",
+]

@@ -1,0 +1,219 @@
+"""The query engine: serve rank queries from mmap slices of a store.
+
+Every query touches at most a handful of matrix rows, decoded on demand
+and cached:
+
+* ``rank(vertex, window)`` — one element read;
+* ``top_k(window, k)`` — ``argpartition`` over one cached slice, with the
+  ranked list itself cached per ``(window, k)``;
+* ``trajectory(vertex, lo, hi)`` — one strided column read across a window
+  range (the mmap touches only the pages holding that column);
+* ``movers(w_from, w_to, k)`` — largest |Δrank| between two windows, the
+  churn query;
+* ``windows_at(t)`` — timestamp → window indices via the store's interval
+  index.
+
+Vertices outside a window's active set hold rank 0 in the global vector
+(the postmortem driver's ``to_global`` scatter), so ``rank`` returns 0.0
+for them and ``top_k`` excludes exact zeros — an empty window yields an
+empty leaderboard rather than ``k`` ties at zero.
+
+``batch`` evaluates many queries grouped by window so each slice is
+decoded once per batch — the primitive the server's request coalescing
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.service.cache import LRUCache
+from repro.service.store import RankStore
+
+__all__ = ["QueryEngine"]
+
+PathOrStore = Union[str, RankStore]
+
+
+class QueryEngine:
+    """Answers rank queries over one :class:`RankStore`."""
+
+    def __init__(
+        self,
+        store: PathOrStore,
+        slice_cache_size: int = 64,
+        topk_cache_size: int = 256,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, RankStore) else RankStore(store)
+        )
+        self.slice_cache = LRUCache(slice_cache_size)
+        self.topk_cache = LRUCache(topk_cache_size)
+
+    # ------------------------------------------------------------------
+    # slice access
+    # ------------------------------------------------------------------
+    def window_slice(self, window: int) -> np.ndarray:
+        """One window's full vector, decoded out of the mmap and cached."""
+        w = self.store.check_window(window)
+        return self.slice_cache.get_or_compute(
+            w, lambda: np.asarray(self.store.matrix[w])
+        )
+
+    # ------------------------------------------------------------------
+    # point queries
+    # ------------------------------------------------------------------
+    def rank(self, vertex: int, window: int) -> float:
+        """The vertex's rank in one window (0.0 when inactive there)."""
+        v = self.store.check_vertex(vertex)
+        return float(self.window_slice(window)[v])
+
+    def top_k(self, window: int, k: int = 10) -> List[Tuple[int, float]]:
+        """The k highest-ranked *active* vertices as (vertex, score) pairs."""
+        if k <= 0:
+            raise ValidationError(f"k must be > 0, got {k}")
+        w = self.store.check_window(window)
+        k = min(k, self.store.n_vertices)
+        return self.topk_cache.get_or_compute(
+            (w, k), lambda: self._compute_top_k(w, k)
+        )
+
+    def _compute_top_k(self, window: int, k: int) -> List[Tuple[int, float]]:
+        values = self.window_slice(window)
+        idx = np.argpartition(values, -k)[-k:]
+        idx = idx[np.argsort(values[idx], kind="stable")[::-1]]
+        return [
+            (int(v), float(values[v])) for v in idx if values[v] > 0.0
+        ]
+
+    # ------------------------------------------------------------------
+    # range queries
+    # ------------------------------------------------------------------
+    def trajectory(
+        self,
+        vertex: int,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """The vertex's rank across windows ``[start, stop)``.
+
+        Reads one float32 column straight off the mmap — windows whose
+        slices were never decoded stay untouched beyond the pages holding
+        the column.
+        """
+        v = self.store.check_vertex(vertex)
+        stop = self.store.n_windows if stop is None else int(stop)
+        start = self.store.check_window(start)
+        if not (start < stop <= self.store.n_windows):
+            raise ValidationError(
+                f"trajectory range [{start}, {stop}) invalid for "
+                f"{self.store.n_windows} windows"
+            )
+        return np.asarray(self.store.matrix[start:stop, v])
+
+    def movers(
+        self, w_from: int, w_to: int, k: int = 10
+    ) -> List[Dict[str, float]]:
+        """The k vertices whose rank changed most between two windows.
+
+        Sorted by |Δ| descending; each entry reports the signed delta and
+        both endpoint ranks, so churn (entries/exits of the active set)
+        shows up as deltas from/to 0.
+        """
+        if k <= 0:
+            raise ValidationError(f"k must be > 0, got {k}")
+        a = self.window_slice(w_from)
+        b = self.window_slice(w_to)
+        delta = b - a
+        magnitude = np.abs(delta)
+        k = min(k, self.store.n_vertices)
+        idx = np.argpartition(magnitude, -k)[-k:]
+        idx = idx[np.argsort(magnitude[idx], kind="stable")[::-1]]
+        return [
+            {
+                "vertex": int(v),
+                "delta": float(delta[v]),
+                "rank_from": float(a[v]),
+                "rank_to": float(b[v]),
+            }
+            for v in idx
+            if magnitude[v] > 0.0
+        ]
+
+    def windows_at(self, timestamp: int) -> List[int]:
+        """Indices of every window containing ``timestamp``."""
+        return [int(w) for w in self.store.windows_at(timestamp)]
+
+    # ------------------------------------------------------------------
+    # batched evaluation
+    # ------------------------------------------------------------------
+    def batch(self, queries: Sequence[Dict]) -> List[Dict]:
+        """Evaluate many queries, grouping same-window queries together.
+
+        Each query is a dict with an ``"op"`` key (``top_k`` / ``rank`` /
+        ``trajectory`` / ``movers`` / ``windows_at``) plus that op's
+        parameters.  Results come back in request order as
+        ``{"ok": True, "result": ...}`` or ``{"ok": False, "error": ...}``
+        — one bad query does not fail the batch.
+
+        Window-keyed queries are evaluated grouped by window so each slice
+        is decoded (and its top-k materialized) once per batch even when
+        the slice cache has already evicted it.
+        """
+        order = sorted(
+            range(len(queries)),
+            key=lambda i: self._group_key(queries[i]),
+        )
+        results: List[Optional[Dict]] = [None] * len(queries)
+        for i in order:
+            results[i] = self._eval(queries[i])
+        return results
+
+    @staticmethod
+    def _group_key(query: Dict) -> Tuple:
+        window = query.get("window", query.get("from", -1))
+        try:
+            return (int(window), str(query.get("op", "")))
+        except (TypeError, ValueError):
+            return (-1, str(query.get("op", "")))
+
+    def _eval(self, query: Dict) -> Dict:
+        try:
+            op = query.get("op")
+            if op == "top_k":
+                result = self.top_k(
+                    query["window"], int(query.get("k", 10))
+                )
+            elif op == "rank":
+                result = self.rank(query["vertex"], query["window"])
+            elif op == "trajectory":
+                result = self.trajectory(
+                    query["vertex"],
+                    int(query.get("start", 0)),
+                    query.get("stop"),
+                ).tolist()
+            elif op == "movers":
+                result = self.movers(
+                    query["from"], query["to"], int(query.get("k", 10))
+                )
+            elif op == "windows_at":
+                result = self.windows_at(query["t"])
+            else:
+                raise ValidationError(f"unknown query op: {op!r}")
+            return {"ok": True, "result": result}
+        except (ValidationError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Cache observability counters for ``/stats``."""
+        return {
+            "slice_cache": self.slice_cache.stats.as_dict(),
+            "topk_cache": self.topk_cache.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        self.store.close()

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.kernels",
     "repro.reporting",
+    "repro.service",
     "repro.utils",
 ]
 

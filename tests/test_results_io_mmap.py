@@ -1,0 +1,67 @@
+"""Lazy (memory-mapped) opening of saved run archives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.models import PostmortemDriver, load_run, save_run
+
+
+@pytest.fixture
+def run(events, spec, config):
+    return PostmortemDriver(events, spec, config).run()
+
+
+class TestMmapLoad:
+    def test_values_identical(self, run, tmp_path):
+        path = tmp_path / "run.npz"
+        save_run(run, path, compress=False)
+        lazy = load_run(path, mmap_mode="r")
+        for a, b in zip(run.windows, lazy.windows):
+            assert np.array_equal(a.values, b.values)
+
+    def test_no_full_matrix_copy_on_open(self, run, tmp_path):
+        """Regression: every window's values must be a view into one
+        shared memmap, not a materialized copy."""
+        path = tmp_path / "run.npz"
+        save_run(run, path, compress=False)
+        lazy = load_run(path, mmap_mode="r")
+        first = lazy.windows[0].values
+        matrix = first.base if first.base is not None else first
+        assert isinstance(matrix, np.memmap)
+        for w in lazy.windows:
+            assert not w.values.flags["OWNDATA"]
+            assert w.values.base is matrix
+
+    def test_mmap_is_readonly(self, run, tmp_path):
+        path = tmp_path / "run.npz"
+        save_run(run, path, compress=False)
+        lazy = load_run(path, mmap_mode="r")
+        with pytest.raises(ValueError):
+            lazy.windows[0].values[0] = 1.0
+
+    def test_compressed_archive_refused(self, run, tmp_path):
+        path = tmp_path / "run.npz"
+        save_run(run, path, compress=True)
+        with pytest.raises(ValidationError, match="compress=False"):
+            load_run(path, mmap_mode="r")
+
+    def test_compressed_archive_still_loads_eagerly(self, run, tmp_path):
+        path = tmp_path / "run.npz"
+        save_run(run, path, compress=True)
+        eager = load_run(path)
+        assert eager.n_windows == run.n_windows
+        for a, b in zip(run.windows, eager.windows):
+            assert np.array_equal(a.values, b.values)
+
+    def test_metadata_survives(self, run, tmp_path):
+        path = tmp_path / "run.npz"
+        save_run(run, path, compress=False)
+        lazy = load_run(path, mmap_mode="r")
+        assert lazy.model == run.model
+        assert lazy.metadata["n_windows"] == run.metadata["n_windows"]
+        for a, b in zip(run.windows, lazy.windows):
+            assert a.iterations == b.iterations
+            assert a.converged == b.converged

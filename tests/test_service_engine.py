@@ -1,0 +1,201 @@
+"""Tests for the query engine (repro.service.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import WindowSpec
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.service import QueryEngine, RankStoreWriter, write_store
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    """A small hand-built store: 4 windows x 6 vertices, window 2 empty."""
+    rows = np.array(
+        [
+            [0.4, 0.3, 0.2, 0.1, 0.0, 0.0],
+            [0.0, 0.5, 0.1, 0.2, 0.2, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],  # empty window: no active set
+            [0.1, 0.0, 0.4, 0.0, 0.3, 0.2],
+        ]
+    )
+    path = tmp_path / "small.rankstore"
+    with RankStoreWriter(path, n_windows=4, n_vertices=6,
+                         dtype=np.float64) as w:
+        for i, row in enumerate(rows):
+            w.write_window(i, row)
+    return path
+
+
+@pytest.fixture
+def engine(store_path):
+    eng = QueryEngine(store_path)
+    yield eng
+    eng.close()
+
+
+class TestPointQueries:
+    def test_rank(self, engine):
+        assert engine.rank(1, 0) == pytest.approx(0.3)
+
+    def test_rank_inactive_vertex_is_zero(self, engine):
+        # vertex 5 is absent from window 0's active set
+        assert engine.rank(5, 0) == 0.0
+
+    def test_rank_vertex_out_of_range(self, engine):
+        with pytest.raises(ValidationError, match="vertex 6"):
+            engine.rank(6, 0)
+
+    def test_rank_window_out_of_range(self, engine):
+        with pytest.raises(ValidationError, match="window index 4"):
+            engine.rank(0, 4)
+
+    def test_top_k_order_and_scores(self, engine):
+        assert engine.top_k(0, 3) == [(0, 0.4), (1, 0.3), (2, 0.2)]
+
+    def test_top_k_excludes_inactive(self, engine):
+        # only 4 vertices are active in window 0; k=10 returns just those
+        assert [v for v, _ in engine.top_k(0, 10)] == [0, 1, 2, 3]
+
+    def test_top_k_empty_window(self, engine):
+        assert engine.top_k(2, 5) == []
+
+    def test_top_k_bad_k(self, engine):
+        with pytest.raises(ValidationError, match="k must be > 0"):
+            engine.top_k(0, 0)
+
+
+class TestRangeQueries:
+    def test_trajectory_full_range(self, engine):
+        traj = engine.trajectory(2)
+        np.testing.assert_allclose(traj, [0.2, 0.1, 0.0, 0.4])
+
+    def test_trajectory_subrange(self, engine):
+        np.testing.assert_allclose(engine.trajectory(2, 1, 3), [0.1, 0.0])
+
+    def test_trajectory_bad_range(self, engine):
+        with pytest.raises(ValidationError):
+            engine.trajectory(0, 3, 2)
+        with pytest.raises(ValidationError):
+            engine.trajectory(0, 0, 99)
+
+    def test_movers_sorted_by_magnitude(self, engine):
+        movers = engine.movers(0, 1, k=6)
+        deltas = [abs(m["delta"]) for m in movers]
+        assert deltas == sorted(deltas, reverse=True)
+        top = movers[0]
+        assert top["vertex"] == 0
+        assert top["delta"] == pytest.approx(-0.4)
+        assert top["rank_from"] == pytest.approx(0.4)
+        assert top["rank_to"] == pytest.approx(0.0)
+
+    def test_movers_identical_windows_empty(self, engine):
+        assert engine.movers(1, 1, k=3) == []
+
+
+class TestSingleWindowStore:
+    def test_all_queries(self, tmp_path):
+        path = tmp_path / "one.rankstore"
+        with RankStoreWriter(path, n_windows=1, n_vertices=3) as w:
+            w.write_window(0, np.array([0.5, 0.3, 0.2]))
+        eng = QueryEngine(path)
+        assert eng.top_k(0, 2) == [
+            (0, pytest.approx(0.5)), (1, pytest.approx(0.3))
+        ]
+        assert eng.rank(2, 0) == pytest.approx(0.2)
+        assert eng.trajectory(0).shape == (1,)
+        assert eng.movers(0, 0) == []
+        eng.close()
+
+
+class TestAgainstRun:
+    """Engine answers match the driver's vectors, including across a
+    multi-window partition boundary."""
+
+    @pytest.fixture
+    def run_setup(self, events, config, tmp_path):
+        spec = WindowSpec.covering(events, delta=3_000, sw=1_000)
+        options = PostmortemOptions(n_multiwindows=3)
+        run = PostmortemDriver(events, spec, config, options).run()
+        path = tmp_path / "run.rankstore"
+        write_store(run, path, spec=spec, dtype=np.float64)
+        return run, spec, options, QueryEngine(path)
+
+    def test_top_k_matches_window_result(self, run_setup):
+        run, spec, _, engine = run_setup
+        for w in run.windows:
+            expected = w.top_vertices(5)
+            got = engine.top_k(w.window_index, 5)
+            for (ve, se), (vg, sg) in zip(expected, got):
+                assert se == pytest.approx(sg, abs=1e-12)
+
+    def test_trajectory_spans_partition_boundary(self, run_setup):
+        run, spec, options, engine = run_setup
+        # the uniform partition splits windows into 3 contiguous chunks;
+        # a full-range trajectory crosses both internal boundaries
+        assert options.n_multiwindows == 3
+        vertex = 7
+        traj = engine.trajectory(vertex, 0, spec.n_windows)
+        expected = np.array([w.values[vertex] for w in run.windows])
+        np.testing.assert_array_equal(traj, expected)
+
+    def test_windows_at_timestamp(self, run_setup):
+        run, spec, _, engine = run_setup
+        t = spec.t0 + spec.delta // 2
+        assert engine.windows_at(t) == list(spec.windows_containing(t))
+
+
+class TestBatch:
+    def test_batch_matches_individual(self, engine):
+        queries = [
+            {"op": "top_k", "window": 0, "k": 2},
+            {"op": "rank", "vertex": 1, "window": 1},
+            {"op": "movers", "from": 0, "to": 3, "k": 2},
+            {"op": "trajectory", "vertex": 2, "start": 0, "stop": 4},
+            {"op": "top_k", "window": 0, "k": 3},
+        ]
+        results = engine.batch(queries)
+        assert all(r["ok"] for r in results)
+        assert results[0]["result"] == [(0, 0.4), (1, 0.3)]
+        assert results[1]["result"] == pytest.approx(0.5)
+        assert results[4]["result"] == engine.top_k(0, 3)
+
+    def test_batch_bad_query_does_not_poison(self, engine):
+        results = engine.batch(
+            [
+                {"op": "top_k", "window": 99},
+                {"op": "nope"},
+                {"op": "rank", "vertex": 0, "window": 0},
+                {"op": "rank"},
+            ]
+        )
+        assert [r["ok"] for r in results] == [False, False, True, False]
+        assert "out of range" in results[0]["error"]
+
+    def test_batch_groups_share_slices(self, store_path):
+        engine = QueryEngine(store_path, slice_cache_size=1)
+        engine.batch(
+            [
+                {"op": "rank", "vertex": 0, "window": 0},
+                {"op": "rank", "vertex": 0, "window": 1},
+                {"op": "rank", "vertex": 1, "window": 0},
+                {"op": "rank", "vertex": 1, "window": 1},
+                {"op": "rank", "vertex": 2, "window": 0},
+                {"op": "rank", "vertex": 2, "window": 1},
+            ]
+        )
+        # grouped by window: 2 decodes despite a 1-slot cache, not 6
+        assert engine.slice_cache.stats.misses == 2
+        assert engine.slice_cache.stats.hits == 4
+        engine.close()
+
+    def test_stats_shape(self, engine):
+        engine.top_k(0, 2)
+        engine.top_k(0, 2)
+        stats = engine.stats()
+        assert stats["topk_cache"]["hits"] == 1
+        assert stats["topk_cache"]["misses"] == 1
+        assert 0.0 <= stats["slice_cache"]["hit_rate"] <= 1.0

@@ -1,0 +1,209 @@
+"""End-to-end tests for the JSON/HTTP query server (repro.service.server)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import QueryEngine, QueryServer, RankStoreWriter
+from repro.service.server import BatchingExecutor
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    rng = np.random.default_rng(7)
+    path = tmp_path / "srv.rankstore"
+    with RankStoreWriter(path, n_windows=6, n_vertices=50) as w:
+        for i in range(6):
+            row = rng.random(50)
+            w.write_window(i, row / row.sum())
+    return path
+
+
+@pytest.fixture
+def server(store_path):
+    srv = QueryServer(store_path, port=0, workers=2).start()
+    yield srv
+    srv.shutdown()
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post_json(url: str, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        assert get_json(server.url + "/health") == (200, {"status": "ok"})
+
+    def test_store_info(self, server):
+        status, info = get_json(server.url + "/store")
+        assert status == 200
+        assert info["windows"] == 6
+        assert info["vertices"] == 50
+
+    def test_top_k(self, server):
+        status, body = get_json(server.url + "/top_k?window=0&k=3")
+        assert status == 200 and body["ok"]
+        scores = [s for _, s in body["result"]]
+        assert len(body["result"]) == 3
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_matches_top_k(self, server):
+        _, top = get_json(server.url + "/top_k?window=2&k=1")
+        vertex, score = top["result"][0]
+        _, body = get_json(
+            server.url + f"/rank?vertex={vertex}&window=2"
+        )
+        assert body["result"] == pytest.approx(score)
+
+    def test_trajectory(self, server):
+        status, body = get_json(
+            server.url + "/trajectory?vertex=3&start=1&stop=5"
+        )
+        assert status == 200
+        assert len(body["result"]) == 4
+
+    def test_movers(self, server):
+        status, body = get_json(server.url + "/movers?from=0&to=5&k=4")
+        assert status == 200
+        assert len(body["result"]) == 4
+
+    def test_bad_window_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get_json(server.url + "/top_k?window=42")
+        assert err.value.code == 400
+        assert "out of range" in json.loads(err.value.read())["error"]
+
+    def test_bad_param_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get_json(server.url + "/top_k?window=abc")
+        assert err.value.code == 400
+
+    def test_unknown_endpoint_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get_json(server.url + "/flush_everything")
+        assert err.value.code == 404
+
+    def test_batch_post(self, server):
+        status, body = post_json(
+            server.url + "/batch",
+            [
+                {"op": "top_k", "window": 0, "k": 2},
+                {"op": "rank", "vertex": 0, "window": 0},
+                {"op": "windows_at", "t": 0},
+            ],
+        )
+        assert status == 200
+        ok = [r["ok"] for r in body["results"]]
+        # the store has no window intervals, so windows_at fails cleanly
+        assert ok == [True, True, False]
+
+    def test_batch_post_rejects_non_list(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post_json(server.url + "/batch", {"op": "top_k"})
+        assert err.value.code == 400
+
+    def test_stats_counts_batches(self, server):
+        for _ in range(3):
+            get_json(server.url + "/top_k?window=1&k=2")
+        status, stats = get_json(server.url + "/stats")
+        assert status == 200
+        assert stats["batching"]["jobs_submitted"] >= 3
+        assert stats["batching"]["batches_executed"] >= 1
+        assert stats["topk_cache"]["hits"] >= 2
+
+
+class TestConcurrency:
+    def test_concurrent_load_and_coalescing(self, server):
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(15):
+                    status, body = get_json(
+                        server.url + "/top_k?window=3&k=5"
+                    )
+                    assert status == 200 and body["ok"]
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        _, stats = get_json(server.url + "/stats")
+        assert stats["batching"]["jobs_submitted"] >= 90
+
+    def test_shutdown_is_idempotent(self, store_path):
+        srv = QueryServer(store_path, port=0).start()
+        assert get_json(srv.url + "/health")[0] == 200
+        srv.shutdown()
+        srv.shutdown()
+        with pytest.raises(urllib.error.URLError):
+            get_json(srv.url + "/health")
+
+
+class TestBatchingExecutor:
+    def test_coalesces_queued_jobs(self, store_path):
+        engine = QueryEngine(store_path)
+        executor = BatchingExecutor(engine, workers=1, max_batch=16)
+        # stall the single worker so subsequent jobs queue behind it
+        gate = threading.Event()
+        blocker = executor.submit(
+            [{"op": "rank", "vertex": 0, "window": 0}]
+        )
+        original_batch = engine.batch
+
+        def slow_batch(queries):
+            gate.wait(timeout=5)
+            return original_batch(queries)
+
+        engine.batch = slow_batch
+        futures = [
+            executor.submit([{"op": "rank", "vertex": v, "window": 1}])
+            for v in range(5)
+        ]
+        gate.set()
+        results = [f.result(timeout=5) for f in futures]
+        blocker.result(timeout=5)
+        assert all(r[0]["ok"] for r in results)
+        stats = executor.stats()
+        assert stats["jobs_submitted"] == 6
+        # the 5 stalled jobs ran in fewer batches than jobs
+        assert stats["batches_executed"] < stats["jobs_submitted"]
+        executor.stop()
+        engine.close()
+
+    def test_submit_after_stop_rejected(self, store_path):
+        engine = QueryEngine(store_path)
+        executor = BatchingExecutor(engine, workers=1)
+        executor.stop()
+        with pytest.raises(ValidationError, match="stopped"):
+            executor.submit([{"op": "rank", "vertex": 0, "window": 0}])
+        engine.close()
+
+    def test_validates_params(self, store_path):
+        engine = QueryEngine(store_path)
+        with pytest.raises(ValidationError):
+            BatchingExecutor(engine, workers=0)
+        with pytest.raises(ValidationError):
+            BatchingExecutor(engine, max_batch=0)
+        engine.close()
