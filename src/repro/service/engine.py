@@ -57,10 +57,15 @@ class QueryEngine:
     # slice access
     # ------------------------------------------------------------------
     def window_slice(self, window: int) -> np.ndarray:
-        """One window's full vector, decoded out of the mmap and cached."""
+        """One window's full vector, copied out of the mmap and cached.
+
+        The copy matters: a view into the memmap would keep pointing at
+        mapped pages, and cached views would dangle (segfault on access)
+        once :meth:`close` unmaps the store.
+        """
         w = self.store.check_window(window)
         return self.slice_cache.get_or_compute(
-            w, lambda: np.asarray(self.store.matrix[w])
+            w, lambda: np.array(self.store.matrix[w], copy=True)
         )
 
     # ------------------------------------------------------------------
@@ -102,7 +107,8 @@ class QueryEngine:
 
         Reads one float32 column straight off the mmap — windows whose
         slices were never decoded stay untouched beyond the pages holding
-        the column.
+        the column.  The result is a materialized copy, never a view, so
+        it stays valid after :meth:`close`.
         """
         v = self.store.check_vertex(vertex)
         stop = self.store.n_windows if stop is None else int(stop)
@@ -112,7 +118,7 @@ class QueryEngine:
                 f"trajectory range [{start}, {stop}) invalid for "
                 f"{self.store.n_windows} windows"
             )
-        return np.asarray(self.store.matrix[start:stop, v])
+        return np.array(self.store.matrix[start:stop, v], copy=True)
 
     def movers(
         self, w_from: int, w_to: int, k: int = 10
@@ -216,4 +222,12 @@ class QueryEngine:
         }
 
     def close(self) -> None:
+        """Drop cached slices/top-k lists, then unmap the store.
+
+        Caches hold materialized copies (never mmap views), so entries a
+        caller already obtained stay valid; clearing first just keeps the
+        unmap from racing a concurrent cache fill.
+        """
+        self.slice_cache.clear()
+        self.topk_cache.clear()
         self.store.close()

@@ -29,6 +29,7 @@ Endpoints::
 from __future__ import annotations
 
 import json
+import logging
 import queue
 import threading
 from concurrent.futures import Future
@@ -41,6 +42,8 @@ from repro.service.engine import QueryEngine
 from repro.service.store import RankStore
 
 __all__ = ["BatchingExecutor", "QueryServer"]
+
+logger = logging.getLogger(__name__)
 
 _STOP = object()
 
@@ -89,6 +92,11 @@ class BatchingExecutor:
         self.jobs_submitted = 0
         self.batches_executed = 0
         self.jobs_coalesced = 0
+        #: guards ``_stopped`` together with queue insertion, so a job can
+        #: never be enqueued behind the ``_STOP`` sentinels (where no
+        #: worker would ever drain it)
+        self._state_lock = threading.Lock()
+        self._stopped = False
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"rank-serve-{i}", daemon=True
@@ -97,17 +105,17 @@ class BatchingExecutor:
         ]
         for t in self._workers:
             t.start()
-        self._stopped = False
 
     # ------------------------------------------------------------------
     def submit(self, queries: Sequence[Dict]) -> "Future[List[Dict]]":
         """Enqueue one job; the future resolves to one result per query."""
-        if self._stopped:
-            raise ValidationError("executor is stopped")
         job = _Job(queries)
+        with self._state_lock:
+            if self._stopped:
+                raise ValidationError("executor is stopped")
+            self._queue.put(job)
         with self._counter_lock:
             self.jobs_submitted += 1
-        self._queue.put(job)
         return job.future
 
     def _worker(self) -> None:
@@ -156,15 +164,43 @@ class BatchingExecutor:
                 "workers": len(self._workers),
             }
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Drain outstanding jobs, then stop the workers."""
-        if self._stopped:
-            return
-        self._stopped = True
-        for _ in self._workers:
-            self._queue.put(_STOP)
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Drain outstanding jobs, then stop the workers.
+
+        Returns ``True`` when every worker actually exited within
+        ``timeout``; ``False`` means some worker is still mid-batch and
+        may touch the engine after this call (the caller must not unmap
+        the store in that case).  Jobs left undrained (only possible on
+        timeout) get their futures failed so no waiter hangs.
+        """
+        with self._state_lock:
+            if self._stopped:
+                return all(not t.is_alive() for t in self._workers)
+            self._stopped = True
+            for _ in self._workers:
+                self._queue.put(_STOP)
         for t in self._workers:
             t.join(timeout)
+        all_exited = all(not t.is_alive() for t in self._workers)
+        # fail any leftovers so their waiters get an immediate error
+        # instead of blocking until their request timeout
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is _STOP:
+                continue
+            if job.future.set_running_or_notify_cancel():
+                job.future.set_exception(
+                    ValidationError("executor is stopped")
+                )
+        # the drain may have eaten a sentinel a straggler still needs to
+        # exit once its batch finishes — re-seed one per live worker
+        for t in self._workers:
+            if t.is_alive():
+                self._queue.put(_STOP)
+        return all_exited
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -317,7 +353,14 @@ class QueryServer:
         return self
 
     def shutdown(self) -> None:
-        """Stop accepting, finish in-flight jobs, release the store."""
+        """Stop accepting, finish in-flight jobs, release the store.
+
+        The store is unmapped only once every batching worker has
+        verifiably exited — unmapping under a live worker would turn its
+        next matrix read into a segfault.  If a worker overruns the stop
+        timeout the engine is left open (leaked, but safe) and a warning
+        is logged.
+        """
         if self._closed:
             return
         self._closed = True
@@ -325,8 +368,13 @@ class QueryServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self.executor.stop()
-        self.engine.close()
+        if self.executor.stop(timeout=5.0):
+            self.engine.close()
+        else:
+            logger.warning(
+                "batching workers did not exit within the stop timeout; "
+                "leaving the rank store mapped to avoid a use-after-unmap"
+            )
 
     def __enter__(self) -> "QueryServer":
         return self

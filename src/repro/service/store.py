@@ -383,7 +383,13 @@ class RankStore:
         return info
 
     def close(self) -> None:
-        """Release the memory map."""
+        """Release the memory map.
+
+        This force-closes the underlying mmap: any still-live views into
+        ``matrix`` (e.g. from :meth:`row`) become invalid and must not be
+        touched afterwards.  Callers that need data to outlive the store
+        must copy (``np.array(store.row(i))``) before closing.
+        """
         mm = getattr(self.matrix, "_mmap", None)
         self.matrix = None
         if mm is not None:

@@ -148,6 +148,41 @@ class TestAgainstRun:
         assert engine.windows_at(t) == list(spec.windows_containing(t))
 
 
+class TestCloseSafety:
+    """Regression: cached slices must be materialized copies, never mmap
+    views — touching a previously returned slice after ``close()`` used
+    to segfault the interpreter (use-after-unmap)."""
+
+    def test_cached_slice_owns_its_data(self, engine):
+        s = engine.window_slice(0)
+        assert s.base is None
+        assert s.flags.owndata
+
+    def test_trajectory_owns_its_data(self, engine):
+        traj = engine.trajectory(2)
+        assert traj.base is None
+        assert traj.flags.owndata
+
+    def test_results_stay_readable_after_close(self, store_path):
+        eng = QueryEngine(store_path)
+        s = eng.window_slice(0)
+        tk = eng.top_k(1, 1)
+        traj = eng.trajectory(2)
+        eng.close()
+        np.testing.assert_allclose(s, [0.4, 0.3, 0.2, 0.1, 0.0, 0.0])
+        assert tk == [(1, pytest.approx(0.5))]
+        np.testing.assert_allclose(traj, [0.2, 0.1, 0.0, 0.4])
+
+    def test_close_clears_caches(self, store_path):
+        eng = QueryEngine(store_path)
+        eng.top_k(0, 2)
+        assert len(eng.slice_cache) == 1
+        assert len(eng.topk_cache) == 1
+        eng.close()
+        assert len(eng.slice_cache) == 0
+        assert len(eng.topk_cache) == 0
+
+
 class TestBatch:
     def test_batch_matches_individual(self, engine):
         queries = [

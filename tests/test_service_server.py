@@ -207,3 +207,40 @@ class TestBatchingExecutor:
         with pytest.raises(ValidationError):
             BatchingExecutor(engine, max_batch=0)
         engine.close()
+
+    def test_stop_reports_worker_exit(self, store_path):
+        engine = QueryEngine(store_path)
+        executor = BatchingExecutor(engine, workers=2)
+        assert executor.stop() is True
+        assert executor.stop() is True  # idempotent
+        engine.close()
+
+    def test_stop_timeout_fails_queued_jobs(self, store_path):
+        """A worker stuck past the stop timeout: stop() reports failure
+        (so the caller knows not to unmap the store) and queued jobs get
+        an immediate error instead of hanging until request timeout."""
+        engine = QueryEngine(store_path)
+        executor = BatchingExecutor(engine, workers=1, max_batch=1)
+        entered, gate = threading.Event(), threading.Event()
+        original_batch = engine.batch
+
+        def slow_batch(queries):
+            entered.set()
+            gate.wait(timeout=10)
+            return original_batch(queries)
+
+        engine.batch = slow_batch
+        blocker = executor.submit([{"op": "rank", "vertex": 0, "window": 0}])
+        assert entered.wait(timeout=5)
+        queued = executor.submit([{"op": "rank", "vertex": 1, "window": 0}])
+        assert executor.stop(timeout=0.2) is False  # worker still stalled
+        with pytest.raises(ValidationError, match="stopped"):
+            queued.result(timeout=1)
+        with pytest.raises(ValidationError, match="stopped"):
+            executor.submit([{"op": "rank", "vertex": 2, "window": 0}])
+        gate.set()
+        assert blocker.result(timeout=5)[0]["ok"]
+        for t in executor._workers:
+            t.join(timeout=5)
+        assert executor.stop() is True
+        engine.close()
