@@ -27,6 +27,12 @@ from repro.errors import (
     ConvergenceError,
     SchedulerError,
     DatasetError,
+    LockOrderError,
+)
+from repro.sanitize import (
+    enable_sanitizers,
+    disable_sanitizers,
+    sanitizers_enabled,
 )
 from repro.events import (
     TemporalEventSet,
@@ -86,6 +92,11 @@ __all__ = [
     "ConvergenceError",
     "SchedulerError",
     "DatasetError",
+    "LockOrderError",
+    # sanitizers
+    "enable_sanitizers",
+    "disable_sanitizers",
+    "sanitizers_enabled",
     # events
     "TemporalEventSet",
     "WindowSpec",

@@ -13,6 +13,7 @@ Usage (also available as ``python -m repro``)::
     repro-temporal inspect wiki.rankstore
     repro-temporal query wiki.rankstore top-k --window 3 -k 10
     repro-temporal serve wiki.rankstore --port 8321
+    repro-temporal lint src benchmarks --format json
 
 * **generate** — write a synthetic dataset profile to ``.npz``/``.tsv``.
 * **info** — event counts, span, temporal shape classification.
@@ -29,6 +30,8 @@ Usage (also available as ``python -m repro``)::
 * **query** — answer top-k / rank / trajectory / movers / window-at
   queries against a rank store.
 * **serve** — JSON-over-HTTP query server with request micro-batching.
+* **lint** — the project-specific static-analysis suite (exit 1 on
+  findings; see ``docs/linting.md``).
 """
 
 from __future__ import annotations
@@ -170,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
         "window-at", help="windows containing a timestamp"
     )
     q_wat.add_argument("--t", type=int, required=True)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the project static-analysis suite"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="fmt", help="report format",
+    )
+    p_lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule names to skip",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule names and descriptions, then exit",
+    )
 
     p_srv = sub.add_parser(
         "serve", help="serve a rank store over JSON/HTTP"
@@ -563,6 +590,37 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_lint(args, out) -> int:
+    from repro.lint import (
+        lint_paths,
+        render_json,
+        render_text,
+        rule_descriptions,
+    )
+    from repro.reporting import format_table
+
+    if args.list_rules:
+        rows = [[name, desc] for name, desc in rule_descriptions().items()]
+        print(
+            format_table(["rule", "description"], rows,
+                         title="repro.lint rules"),
+            file=out,
+        )
+        return 0
+
+    def split(spec):
+        if spec is None:
+            return None
+        return [tok for tok in (t.strip() for t in spec.split(",")) if tok]
+
+    report = lint_paths(
+        args.paths, select=split(args.select), ignore=split(args.ignore)
+    )
+    renderer = render_json if args.fmt == "json" else render_text
+    print(renderer(report), file=out)
+    return 0 if report.clean else 1
+
+
 def cmd_report(args, out) -> int:
     from repro.reporting.report import generate_report
 
@@ -582,6 +640,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "kernel": cmd_kernel,
+    "lint": cmd_lint,
     "report": cmd_report,
     "inspect": cmd_inspect,
     "query": cmd_query,

@@ -17,6 +17,7 @@ __all__ = [
     "ConvergenceError",
     "SchedulerError",
     "DatasetError",
+    "LockOrderError",
 ]
 
 
@@ -55,3 +56,13 @@ class SchedulerError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset profile could not be generated."""
+
+
+class LockOrderError(ReproError):
+    """Service-layer locks were acquired out of the global rank order.
+
+    Raised only in sanitizer mode (:mod:`repro.sanitize`): every ordered
+    lock carries a rank, and acquiring a lock whose rank is not strictly
+    greater than the highest rank already held by the thread is the
+    deadlock-shaped bug the runtime check exists to catch.
+    """

@@ -73,15 +73,15 @@ def closeness_centrality(
     # estimate each vertex's average distance from its distances TO the
     # pivots, obtained by BFS from each pivot on the reverse graph
     reverse = graph.transpose()
-    dist_sum = np.zeros(n)
-    dist_cnt = np.zeros(n)
+    dist_sum = np.zeros(n, dtype=np.float64)
+    dist_cnt = np.zeros(n, dtype=np.float64)
     for p in pivots:
         dist = bfs_distances(reverse, int(p))
         hit = (dist > 0) & active
         dist_sum[hit] += dist[hit]
         dist_cnt[hit] += 1
     have = dist_cnt > 0
-    avg = np.zeros(n)
+    avg = np.zeros(n, dtype=np.float64)
     avg[have] = dist_sum[have] / dist_cnt[have]
     # closeness estimate with reach fraction approximated by pivot hits
     frac = dist_cnt / k

@@ -79,7 +79,7 @@ def katz_window(
     n_active = view.n_active_vertices
     if n_active == 0:
         return PagerankResult(
-            values=np.zeros(n), iterations=0, converged=True, residual=0.0
+            values=np.zeros(n, dtype=np.float64), iterations=0, converged=True, residual=0.0
         )
 
     in_csr = adjacency.in_csr
@@ -147,9 +147,9 @@ def katz_partial_init(
     shared = cur & prev
     n_cur = view.n_active_vertices
     if n_cur == 0:
-        return np.zeros(n)
+        return np.zeros(n, dtype=np.float64)
     shared_mass = float(prev_values[shared].sum())
-    x = np.zeros(n)
+    x = np.zeros(n, dtype=np.float64)
     if shared.any() and shared_mass > 0:
         n_shared = int(shared.sum())
         x[shared] = prev_values[shared] * (n_shared / n_cur) / shared_mass

@@ -71,7 +71,7 @@ def katz_windows_spmm(
         return out
 
     iterations = np.zeros(k, dtype=np.int64)
-    residuals = np.full(k, np.inf)
+    residuals = np.full(k, np.inf, dtype=np.float64)
     converged = n_active == 0
     residuals[converged] = 0.0
     work = WorkStats()

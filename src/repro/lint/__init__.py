@@ -1,0 +1,52 @@
+"""repro.lint — the project-specific static-analysis suite.
+
+Eight AST-based checkers enforce the invariants this codebase's own
+post-mortems produced (see ``docs/linting.md`` for the rule catalog and
+each rule's motivating bug): zero-copy escapes from mmap-backed stores,
+lock discipline in the serving layer, blocking calls under locks,
+deterministic RNG, pinned dtypes in hot kernels, vectorized CSR access,
+no swallowed exceptions, no shared mutable defaults.
+
+Run from the CLI::
+
+    repro-temporal lint src benchmarks
+    repro-temporal lint --format json --select missing-dtype,unseeded-rng
+
+or programmatically via :func:`lint_paths` / :func:`lint_source`.
+Intentional violations carry ``# lint: disable=<rule>`` with a one-line
+justification.  The two most dangerous rules are additionally enforced at
+runtime by :mod:`repro.sanitize`.
+"""
+
+from repro.lint.core import (
+    Finding,
+    LintReport,
+    Rule,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+)
+from repro.lint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+from repro.lint.rules import ALL_RULES, rule_descriptions
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "Rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "rule_descriptions",
+]

@@ -1,0 +1,273 @@
+"""The static-analysis engine: AST visitors, suppression, path scoping.
+
+The engine is deliberately small: one parse per file, one visitor pass per
+applicable rule, findings filtered through ``# lint: disable=<rule>``
+comments.  Rules (:mod:`repro.lint.rules`) are project-specific — they
+encode invariants this codebase has already been bitten by (escaping mmap
+views, inconsistent lock discipline, hidden nondeterminism) rather than
+generic style — so the engine favors precision over configurability: a
+rule either applies to a file (its ``scopes`` match the path) or it does
+not, and a finding is either real or carries an inline justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "resolve_rules",
+]
+
+#: rule name synthesized for files the engine cannot parse
+PARSE_ERROR = "parse-error"
+
+#: ``# lint: disable=rule-a, rule-b`` (the justification text after the
+#: rule list is free-form and ignored by the parser)
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([\w\-, ]+)")
+
+#: directories never descended into when expanding a path argument
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "output", ".hypothesis"}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Per-file state shared by every rule visiting that file."""
+
+    path: str
+    source: str
+    findings: List[Finding] = field(default_factory=list)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one checker: an AST visitor with a name and a scope.
+
+    ``scopes`` is a tuple of posix path fragments; a rule applies to a file
+    when any fragment occurs in the file's posix path (an empty tuple means
+    every file).  Subclasses override visitor methods (or :meth:`run` for
+    multi-pass rules) and call :meth:`report` on violations.
+    """
+
+    name: str = ""
+    description: str = ""
+    scopes: Tuple[str, ...] = ()
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+
+    @classmethod
+    def applies_to(cls, posix_path: str) -> bool:
+        return not cls.scopes or any(s in posix_path for s in cls.scopes)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=self.name,
+                message=message,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> None:
+        self.visit(tree)
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule names disabled on that line.
+
+    A finding is suppressed when its line, or the line directly above it,
+    carries ``# lint: disable=<rule>[,<rule>...]``; the token ``all``
+    disables every rule for that line.
+    """
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(line)
+        if m:
+            tokens = {t for t in re.split(r"[\s,]+", m.group(1)) if t}
+            if tokens:
+                out[lineno] = tokens
+    return out
+
+
+def _suppressed(finding: Finding, disables: Dict[int, Set[str]]) -> bool:
+    for line in (finding.line, finding.line - 1):
+        rules = disables.get(line)
+        if rules and (finding.rule in rules or "all" in rules):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# rule selection
+# ----------------------------------------------------------------------
+def resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Type[Rule]]:
+    """The rule classes to run, after ``--select`` / ``--ignore``."""
+    from repro.lint.rules import ALL_RULES
+
+    by_name = {r.name: r for r in ALL_RULES}
+    for names in (select, ignore):
+        unknown = set(names or ()) - set(by_name)
+        if unknown:
+            raise ValidationError(
+                f"unknown lint rule(s): {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(by_name))}"
+            )
+    chosen = list(select) if select else list(by_name)
+    ignored = set(ignore or ())
+    return [by_name[n] for n in by_name if n in chosen and n not in ignored]
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    ``path`` drives rule scoping, so tests exercise scoped rules by naming
+    fixtures accordingly (e.g. ``service/fixture.py``).
+    """
+    posix = Path(path).as_posix() if path != "<memory>" else path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=posix, source=source)
+    for rule_cls in resolve_rules(select, ignore):
+        if rule_cls.applies_to(posix):
+            rule_cls(ctx).run(tree)
+    disables = parse_suppressions(source)
+    return sorted(f for f in ctx.findings if not _suppressed(f, disables))
+
+
+def lint_file(
+    path: "Path | str",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one ``.py`` file from disk."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"cannot read {p}: {exc}") from exc
+    return lint_source(source, path=str(p), select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Sequence["Path | str"]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(
+                f
+                for f in p.rglob("*.py")
+                if not (_SKIP_DIRS & set(f.parts))
+            )
+        elif p.suffix == ".py":
+            candidates = [p]
+        elif not p.exists():
+            raise ValidationError(f"no such file or directory: {p}")
+        else:
+            candidates = []
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                out.append(f)
+    return out
+
+
+@dataclass
+class LintReport:
+    """The result of linting a path set."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def lint_paths(
+    paths: Sequence["Path | str"],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and aggregate the findings."""
+    rules = resolve_rules(select, ignore)
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, select=select, ignore=ignore))
+    return LintReport(
+        findings=sorted(findings),
+        files_checked=len(files),
+        rules=sorted(r.name for r in rules),
+    )

@@ -1,0 +1,60 @@
+"""Finding renderers: human text and machine-readable JSON.
+
+The JSON document is the CI contract (schema version 1)::
+
+    {
+      "version": 1,
+      "clean": false,
+      "files_checked": 83,
+      "rules": ["csr-python-loop", ...],
+      "summary": {"missing-dtype": 2},
+      "findings": [
+        {"rule": "missing-dtype", "path": "src/...", "line": 66,
+         "col": 19, "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import LintReport
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col: [rule] message`` line per finding + a tally."""
+    lines = [f.render() for f in report.findings]
+    if report.clean:
+        lines.append(
+            f"clean: {report.files_checked} files checked, "
+            f"{len(report.rules)} rules"
+        )
+    else:
+        per_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in report.summary().items()
+        )
+        lines.append(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_checked} files checked ({per_rule})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The schema-versioned JSON report consumed by CI."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "clean": report.clean,
+            "files_checked": report.files_checked,
+            "rules": report.rules,
+            "summary": report.summary(),
+            "findings": [f.as_dict() for f in report.findings],
+        },
+        indent=2,
+    )

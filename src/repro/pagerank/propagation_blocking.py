@@ -106,7 +106,7 @@ def pagerank_window_pb(
     n_active = view.n_active_vertices
     if n_active == 0:
         return PagerankResult(
-            values=np.zeros(n), iterations=0, converged=True, residual=0.0
+            values=np.zeros(n, dtype=np.float64), iterations=0, converged=True, residual=0.0
         )
     if kernel is None:
         kernel = PropagationBlockingKernel(view, n_bins=n_bins)

@@ -51,7 +51,7 @@ def pagerank_dense_reference(
     n_active = int(mask.sum())
     if n_active == 0:
         return PagerankResult(
-            values=np.zeros(n), iterations=0, converged=True, residual=0.0
+            values=np.zeros(n, dtype=np.float64), iterations=0, converged=True, residual=0.0
         )
 
     # column-stochastic transition restricted to active vertices
@@ -95,7 +95,7 @@ def pagerank_csr_reference(
     n_active = int(mask.sum())
     if n_active == 0:
         return PagerankResult(
-            values=np.zeros(n), iterations=0, converged=True, residual=0.0
+            values=np.zeros(n, dtype=np.float64), iterations=0, converged=True, residual=0.0
         )
 
     deg = graph.out_degrees()

@@ -95,7 +95,7 @@ def pagerank_windows_spmm(
     teleport = np.where(n_active > 0, alpha / safe_active, 0.0)
 
     iterations = np.zeros(k, dtype=np.int64)
-    residuals = np.full(k, np.inf)
+    residuals = np.full(k, np.inf, dtype=np.float64)
     converged = n_active == 0  # empty windows are trivially done
     residuals[converged] = 0.0
     X[:, converged] = 0.0

@@ -1,0 +1,171 @@
+"""Runtime sanitizers: dynamic enforcement of the two most dangerous
+lint rules.
+
+Static analysis (:mod:`repro.lint`) catches the *patterns* of PR 1's
+serving-layer bugs; this module catches the *behaviour* at test time:
+
+* **boundary freezing** — arrays that cross the QueryEngine cache or
+  RankStore mmap boundary are marked ``writeable=False``, so an in-place
+  write to a shared cached slice raises immediately instead of silently
+  corrupting every later reader of that cache entry;
+* **lock-order assertion** — service-layer locks are
+  :class:`OrderedLock` instances with a global rank; acquiring a lock
+  whose rank is not strictly greater than the highest rank the thread
+  already holds raises :class:`~repro.errors.LockOrderError`, turning a
+  latent deadlock into a deterministic test failure.
+
+Both checks are off by default and cost one module-global boolean test
+per operation when disabled.  Enable them with ``REPRO_SANITIZE=1`` in
+the environment (honored at import time, and by the test suite's
+session fixture) or by calling :func:`enable_sanitizers`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LockOrderError
+
+__all__ = [
+    "LOCK_RANK_ENGINE_CACHE",
+    "LOCK_RANK_EXECUTOR_COUNTERS",
+    "LOCK_RANK_EXECUTOR_STATE",
+    "LOCK_RANK_STORE_WRITER",
+    "OrderedLock",
+    "disable_sanitizers",
+    "enable_sanitizers",
+    "freeze_boundary",
+    "make_lock",
+    "sanitizers_enabled",
+]
+
+#: the global service-layer lock order, outermost (lowest rank) first;
+#: any nested acquisition must move to a strictly larger rank
+LOCK_RANK_EXECUTOR_STATE = 10
+LOCK_RANK_EXECUTOR_COUNTERS = 20
+LOCK_RANK_ENGINE_CACHE = 30
+LOCK_RANK_STORE_WRITER = 40
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _env_requested() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+
+_enabled = _env_requested()
+
+
+def sanitizers_enabled() -> bool:
+    """Whether sanitizer mode is currently on."""
+    return _enabled
+
+
+def enable_sanitizers() -> None:
+    """Turn on boundary freezing and lock-order assertions (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable_sanitizers() -> None:
+    """Turn sanitizer mode back off (objects already frozen stay frozen)."""
+    global _enabled
+    _enabled = False
+
+
+# ----------------------------------------------------------------------
+# boundary freezing
+# ----------------------------------------------------------------------
+def freeze_boundary(array: np.ndarray) -> np.ndarray:
+    """Mark an array crossing a cache/mmap boundary read-only.
+
+    No-op unless sanitizers are enabled.  Freezing is applied to arrays
+    that are *shared* across callers (cached slices, mmap views); arrays
+    the caller owns outright (e.g. trajectory copies) stay writable.
+    """
+    if _enabled and isinstance(array, np.ndarray):
+        # clearing writeable is always permitted (unlike setting it)
+        array.flags.writeable = False
+    return array
+
+
+# ----------------------------------------------------------------------
+# lock-order assertion
+# ----------------------------------------------------------------------
+_held = threading.local()
+
+
+class OrderedLock:
+    """A ``threading.Lock`` with a rank checked against the global order.
+
+    When sanitizers are enabled, each thread tracks the stack of ranks it
+    holds; acquiring a lock whose rank is <= the top of that stack raises
+    :class:`~repro.errors.LockOrderError` *before* blocking, so the test
+    fails at the violation site instead of deadlocking.  Disabled, the
+    overhead is a single boolean check per acquire/release.
+    """
+
+    __slots__ = ("name", "rank", "_lock")
+
+    def __init__(self, name: str, rank: int) -> None:
+        self.name = name
+        self.rank = int(rank)
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list:
+        stack = getattr(_held, "stack", None)
+        if stack is None:
+            stack = []
+            _held.stack = stack
+        return stack
+
+    def acquire(self, blocking: bool = True,
+                timeout: Optional[float] = None) -> bool:
+        if _enabled:
+            stack = self._stack()
+            if stack and self.rank <= stack[-1][0]:
+                top_rank, top_name = stack[-1]
+                raise LockOrderError(
+                    f"lock order violation: acquiring '{self.name}' "
+                    f"(rank {self.rank}) while holding '{top_name}' "
+                    f"(rank {top_rank}); service-layer locks must be "
+                    "taken in strictly increasing rank order"
+                )
+        if timeout is None:
+            acquired = self._lock.acquire(blocking)
+        else:
+            acquired = self._lock.acquire(blocking, timeout)
+        if acquired and _enabled:
+            self._stack().append((self.rank, self.name))
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        stack = getattr(_held, "stack", None)
+        if stack:
+            entry = (self.rank, self.name)
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == entry:
+                    del stack[i]
+                    break
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrderedLock({self.name!r}, rank={self.rank})"
+
+
+def make_lock(name: str, rank: int) -> OrderedLock:
+    """The service layer's lock constructor (always order-aware)."""
+    return OrderedLock(name, rank)

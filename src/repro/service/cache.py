@@ -8,10 +8,11 @@ and exposed via ``/stats`` for observability.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterator, Tuple, TypeVar
+from typing import Callable, Dict, Hashable, Iterator, TypeVar
+
+from repro.sanitize import LOCK_RANK_ENGINE_CACHE, make_lock
 
 __all__ = ["CacheStats", "LRUCache"]
 
@@ -55,13 +56,13 @@ class LRUCache:
     micro-batching layer exists to prevent.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128, name: str = "lru") -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be > 0, got {maxsize}")
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"cache:{name}", LOCK_RANK_ENGINE_CACHE)
 
     def get(self, key: Hashable, default: V = None) -> V:
         with self._lock:

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.sanitize import freeze_boundary
 from repro.service.cache import LRUCache
 from repro.service.store import RankStore
 
@@ -50,8 +51,8 @@ class QueryEngine:
         self.store = (
             store if isinstance(store, RankStore) else RankStore(store)
         )
-        self.slice_cache = LRUCache(slice_cache_size)
-        self.topk_cache = LRUCache(topk_cache_size)
+        self.slice_cache = LRUCache(slice_cache_size, name="slice")
+        self.topk_cache = LRUCache(topk_cache_size, name="topk")
 
     # ------------------------------------------------------------------
     # slice access
@@ -61,11 +62,16 @@ class QueryEngine:
 
         The copy matters: a view into the memmap would keep pointing at
         mapped pages, and cached views would dangle (segfault on access)
-        once :meth:`close` unmaps the store.
+        once :meth:`close` unmaps the store.  The cached copy is shared by
+        every later caller, so in sanitizer mode it is frozen
+        (``writeable=False``) — an in-place write to it raises instead of
+        corrupting all subsequent reads of that window.
         """
         w = self.store.check_window(window)
         return self.slice_cache.get_or_compute(
-            w, lambda: np.array(self.store.matrix[w], copy=True)
+            w,
+            lambda: freeze_boundary(np.array(self.store.matrix[w],
+                                             copy=True)),
         )
 
     # ------------------------------------------------------------------

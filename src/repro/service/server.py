@@ -38,6 +38,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ValidationError
+from repro.sanitize import (
+    LOCK_RANK_EXECUTOR_COUNTERS,
+    LOCK_RANK_EXECUTOR_STATE,
+    make_lock,
+)
 from repro.service.engine import QueryEngine
 from repro.service.store import RankStore
 
@@ -88,14 +93,18 @@ class BatchingExecutor:
         self.engine = engine
         self.max_batch = max_batch
         self._queue: "queue.Queue" = queue.Queue()
-        self._counter_lock = threading.Lock()
+        self._counter_lock = make_lock(
+            "executor-counters", LOCK_RANK_EXECUTOR_COUNTERS
+        )
         self.jobs_submitted = 0
         self.batches_executed = 0
         self.jobs_coalesced = 0
         #: guards ``_stopped`` together with queue insertion, so a job can
         #: never be enqueued behind the ``_STOP`` sentinels (where no
         #: worker would ever drain it)
-        self._state_lock = threading.Lock()
+        self._state_lock = make_lock(
+            "executor-state", LOCK_RANK_EXECUTOR_STATE
+        )
         self._stopped = False
         self._workers = [
             threading.Thread(

@@ -2,12 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.events import TemporalEventSet, WindowSpec
 from repro.graph import TemporalAdjacency
 from repro.pagerank import PagerankConfig
+from repro.sanitize import enable_sanitizers, sanitizers_enabled
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizer_mode():
+    """Run the whole suite under runtime sanitizers when asked.
+
+    ``REPRO_SANITIZE=1 pytest`` turns on boundary freezing and lock-order
+    assertions (see :mod:`repro.sanitize`) for every test; the seed suite
+    is required to stay green in that mode.  The env var is also honored
+    by ``repro.sanitize`` at import time — this fixture just makes the
+    contract explicit and covers reimport orderings.
+    """
+    if os.environ.get("REPRO_SANITIZE", "").strip().lower() in {
+        "1", "true", "yes", "on"
+    }:
+        enable_sanitizers()
+        assert sanitizers_enabled()
+    yield
 
 
 def random_events(

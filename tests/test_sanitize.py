@@ -1,0 +1,225 @@
+"""Runtime sanitizer mode: boundary freezing and lock-order assertion.
+
+The acceptance demonstration lives in ``TestBoundaryFreezing``: with
+sanitizers on, an in-place write to a cached ``QueryEngine`` slice —
+exactly the bug class behind PR 1's cache-corruption hazards — raises
+``ValueError`` at the write site instead of silently poisoning every
+later reader of that cache entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import sanitize
+from repro.errors import LockOrderError, ReproError
+from repro.sanitize import (
+    LOCK_RANK_ENGINE_CACHE,
+    LOCK_RANK_EXECUTOR_COUNTERS,
+    LOCK_RANK_EXECUTOR_STATE,
+    LOCK_RANK_STORE_WRITER,
+    OrderedLock,
+    disable_sanitizers,
+    enable_sanitizers,
+    freeze_boundary,
+    make_lock,
+    sanitizers_enabled,
+)
+from repro.service import QueryEngine, RankStore, RankStoreWriter
+
+
+@pytest.fixture
+def sanitizers_on():
+    """Force sanitizer mode on for one test, restoring the prior state."""
+    prev = sanitizers_enabled()
+    enable_sanitizers()
+    yield
+    if not prev:
+        disable_sanitizers()
+
+
+@pytest.fixture
+def sanitizers_off():
+    """Force sanitizer mode off for one test, restoring the prior state."""
+    prev = sanitizers_enabled()
+    disable_sanitizers()
+    yield
+    if prev:
+        enable_sanitizers()
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    """A finalized 3-window x 6-vertex rank store on disk."""
+    path = tmp_path / "s.rankstore"
+    rows = np.arange(18, dtype=np.float64).reshape(3, 6) / 100.0
+    with RankStoreWriter(path, n_windows=3, n_vertices=6) as w:
+        for i in range(3):
+            w.write_window(i, rows[i])
+    return path
+
+
+class TestToggles:
+    def test_enable_disable_roundtrip(self):
+        prev = sanitizers_enabled()
+        try:
+            enable_sanitizers()
+            assert sanitizers_enabled()
+            disable_sanitizers()
+            assert not sanitizers_enabled()
+        finally:
+            (enable_sanitizers if prev else disable_sanitizers)()
+
+    def test_env_parsing(self, monkeypatch):
+        for value in ("1", "true", "Yes", " ON "):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize._env_requested()
+        for value in ("0", "false", "", "off"):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert not sanitize._env_requested()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert not sanitize._env_requested()
+
+    def test_lock_order_error_is_repro_error(self):
+        assert issubclass(LockOrderError, ReproError)
+
+
+class TestFreezeBoundary:
+    def test_noop_when_disabled(self, sanitizers_off):
+        a = np.zeros(4, dtype=np.float64)
+        assert freeze_boundary(a) is a
+        a[0] = 1.0  # still writable
+
+    def test_freezes_when_enabled(self, sanitizers_on):
+        a = np.zeros(4, dtype=np.float64)
+        assert freeze_boundary(a) is a
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 1.0
+
+    def test_non_array_passthrough(self, sanitizers_on):
+        assert freeze_boundary("not an array") == "not an array"
+
+
+class TestBoundaryFreezing:
+    """Sanitizers catch in-place writes to shared service-layer arrays."""
+
+    def test_cached_engine_slice_write_raises(self, store_path,
+                                              sanitizers_on):
+        engine = QueryEngine(str(store_path))
+        try:
+            cached = engine.window_slice(1)
+            with pytest.raises(ValueError):
+                cached[0] = 99.0
+            # the cache entry is intact and queries keep working
+            assert engine.rank(0, 1) == pytest.approx(0.06, abs=1e-6)
+            assert engine.top_k(1, k=2)
+        finally:
+            engine.close()
+
+    def test_store_row_is_read_only(self, store_path, sanitizers_on):
+        store = RankStore(str(store_path))
+        try:
+            row = store.row(2)
+            assert not row.flags.writeable
+            with pytest.raises(ValueError):
+                row[0] = 1.0
+        finally:
+            store.close()
+
+    def test_trajectory_stays_writable(self, store_path, sanitizers_on):
+        # caller-owned copies are NOT frozen; only shared arrays are
+        engine = QueryEngine(str(store_path))
+        try:
+            traj = engine.trajectory(3)
+            assert traj.flags.writeable
+            traj[0] = 42.0  # legal: the caller owns this copy
+        finally:
+            engine.close()
+
+    def test_disabled_mode_slice_is_writable(self, store_path,
+                                             sanitizers_off):
+        engine = QueryEngine(str(store_path))
+        try:
+            assert engine.window_slice(0).flags.writeable
+        finally:
+            engine.close()
+
+
+class TestOrderedLock:
+    def test_increasing_rank_order_is_legal(self, sanitizers_on):
+        outer = make_lock("state", LOCK_RANK_EXECUTOR_STATE)
+        inner = make_lock("cache", LOCK_RANK_ENGINE_CACHE)
+        with outer:
+            with inner:
+                assert outer.locked() and inner.locked()
+        assert not outer.locked() and not inner.locked()
+
+    def test_inverted_order_raises_before_blocking(self, sanitizers_on):
+        outer = make_lock("writer", LOCK_RANK_STORE_WRITER)
+        inner = make_lock("counters", LOCK_RANK_EXECUTOR_COUNTERS)
+        with outer:
+            with pytest.raises(LockOrderError, match="lock order violation"):
+                inner.acquire()
+        # the failed acquire must not leave the lock held
+        assert not inner.locked()
+
+    def test_same_rank_reacquire_raises(self, sanitizers_on):
+        a = make_lock("cache:a", LOCK_RANK_ENGINE_CACHE)
+        b = make_lock("cache:b", LOCK_RANK_ENGINE_CACHE)
+        with a:
+            with pytest.raises(LockOrderError):
+                b.acquire()
+
+    def test_disabled_mode_skips_order_check(self, sanitizers_off):
+        outer = make_lock("writer", LOCK_RANK_STORE_WRITER)
+        inner = make_lock("state", LOCK_RANK_EXECUTOR_STATE)
+        with outer:
+            with inner:  # inverted, but sanitizers are off
+                assert inner.locked()
+
+    def test_release_clears_held_stack(self, sanitizers_on):
+        lock = make_lock("state", LOCK_RANK_EXECUTOR_STATE)
+        with lock:
+            pass
+        # stack is clean: the same rank can be taken again
+        with lock:
+            pass
+
+    def test_make_lock_attributes(self):
+        lock = make_lock("engine-cache", LOCK_RANK_ENGINE_CACHE)
+        assert isinstance(lock, OrderedLock)
+        assert lock.name == "engine-cache"
+        assert lock.rank == LOCK_RANK_ENGINE_CACHE
+        assert "engine-cache" in repr(lock)
+
+
+class TestServiceIntegration:
+    """The full writer -> store -> engine path runs under sanitizers."""
+
+    def test_roundtrip_under_sanitizers(self, tmp_path, sanitizers_on):
+        path = tmp_path / "it.rankstore"
+        rows = np.linspace(0.0, 1.0, 8, dtype=np.float64).reshape(2, 4)
+        with RankStoreWriter(path, n_windows=2, n_vertices=4) as w:
+            w.write_window(0, rows[0])
+            w.write_window(1, rows[1])
+        engine = QueryEngine(str(path))
+        try:
+            for window in range(2):
+                top = engine.top_k(window, k=2)
+                assert len(top) == 2
+                assert top[0][1] >= top[1][1]
+            assert engine.rank(3, 1) == pytest.approx(rows[1, 3], abs=1e-6)
+        finally:
+            engine.close()
+
+    def test_lock_ranks_span_the_service_order(self):
+        ranks = [
+            LOCK_RANK_EXECUTOR_STATE,
+            LOCK_RANK_EXECUTOR_COUNTERS,
+            LOCK_RANK_ENGINE_CACHE,
+            LOCK_RANK_STORE_WRITER,
+        ]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
