@@ -1,0 +1,82 @@
+"""Compare a fresh bench JSON against its committed baseline.
+
+Used by the CI ``bench-smoke`` job: after a benchmark writes
+``benchmarks/output/<name>.json``, this script diffs the
+machine-independent metrics against the committed
+``benchmarks/BENCH_<name>.json`` and exits 1 on a >2x regression.
+
+Wall-clock numbers are deliberately ignored — CI runners are shared and
+slow; the guarded metrics are serialization volumes and ratios, which
+depend only on the code.
+
+Usage:  python benchmarks/check_regression.py shared_memory
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+#: a fresh metric may grow to at most TOLERANCE x its baseline value
+TOLERANCE = 2.0
+
+#: per-bench guarded metrics: (json path, human label); every metric is
+#: "smaller is better" and bounded by TOLERANCE x baseline
+GUARDED = {
+    "shared_memory": [
+        (("dispatch", "payload_ratio"), "shared/pickled payload ratio"),
+        (("dispatch", "shared_arena_bytes"), "shared dispatch bytes"),
+    ],
+}
+
+#: per-bench boolean invariants that must hold in the fresh results
+REQUIRED_FLAGS = {
+    "shared_memory": [("thread_match_exact",)],
+}
+
+
+def _lookup(payload: dict, path: tuple):
+    value = payload
+    for key in path:
+        value = value[key]
+    return value
+
+
+def check(name: str) -> int:
+    baseline_path = HERE / f"BENCH_{name}.json"
+    fresh_path = HERE / "output" / f"{name}.json"
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+
+    failures = []
+    for path, label in GUARDED.get(name, []):
+        base, now = _lookup(baseline, path), _lookup(fresh, path)
+        bound = base * TOLERANCE
+        status = "ok" if now <= bound else "REGRESSION"
+        print(
+            f"{label}: baseline={base:.6g} fresh={now:.6g} "
+            f"bound={bound:.6g} [{status}]"
+        )
+        if now > bound:
+            failures.append(label)
+    for path in REQUIRED_FLAGS.get(name, []):
+        if not _lookup(fresh, path):
+            print(f"invariant {'.'.join(path)} is no longer true [REGRESSION]")
+            failures.append(".".join(path))
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {baseline_path.name}")
+        return 1
+    print(f"\nno regressions vs {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2 or sys.argv[1] not in GUARDED:
+        known = ", ".join(sorted(GUARDED))
+        print(f"usage: check_regression.py <bench>  (known: {known})")
+        sys.exit(2)
+    sys.exit(check(sys.argv[1]))

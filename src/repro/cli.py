@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--vector-length", type=int, default=16)
     p_run.add_argument("--partition", default="uniform",
                        choices=["uniform", "minimax", "greedy"])
+    p_run.add_argument("--executor", default="serial",
+                       choices=["serial", "thread", "process", "shared"],
+                       help="how multi-window graphs are solved: in this "
+                       "process, by a thread pool, by a pickling process "
+                       "pool, or by a shared-memory process pool "
+                       "(zero-copy graphs; works with --store)")
+    p_run.add_argument("--executor-workers", type=int, default=4,
+                       help="worker count for the non-serial executors")
     p_run.add_argument("--top", type=int, default=3,
                        help="top vertices to print per window")
     p_run.add_argument("--every", type=int, default=1,
@@ -308,6 +316,8 @@ def cmd_run(args, out) -> int:
         kernel=args.kernel,
         vector_length=args.vector_length,
         partition_method=args.partition,
+        executor=args.executor,
+        n_threads=args.executor_workers,
     )
     driver = PostmortemDriver(events, spec, _make_config(args), options)
     if args.store:

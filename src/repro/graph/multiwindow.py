@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.events.windows import Window, WindowSpec
-from repro.graph.temporal_csr import TemporalAdjacency, WindowView
+from repro.graph.temporal_csr import TemporalAdjacency, TemporalCSR, WindowView
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.events.event_set import TemporalEventSet
@@ -92,10 +92,15 @@ class MultiWindowGraph:
         w = self.spec.window(local)
         return Window(index=global_index, t_start=w.t_start, t_end=w.t_end)
 
-    def window_view(self, global_index: int) -> WindowView:
+    def window_view(self, global_index: int, workspace=None) -> WindowView:
         """Per-window activity data, computed over the *local* structure —
-        the Θ(|E_w|) traversal the partitioning buys."""
-        return self.adjacency.window_view(self.local_window(global_index))
+        the Θ(|E_w|) traversal the partitioning buys.
+
+        ``workspace`` recycles construction scratch across this graph's
+        partial-initialization chain."""
+        return self.adjacency.window_view(
+            self.local_window(global_index), workspace=workspace
+        )
 
     def to_global(self, local_values: np.ndarray, n_global: int) -> np.ndarray:
         """Scatter a local per-vertex vector into the global vertex space
@@ -107,6 +112,62 @@ class MultiWindowGraph:
 
     def memory_bytes(self) -> int:
         return self.adjacency.memory_bytes() + self.global_ids.nbytes
+
+    # ------------------------------------------------------------------
+    # shared-memory publication (repro.parallel.shared_arena)
+    # ------------------------------------------------------------------
+    def shared_arrays(self) -> dict:
+        """The graph's array payload, keyed for arena publication.
+
+        Everything a worker process needs to rebuild this graph without
+        recomputation: both temporal-CSR orientations (including the
+        precomputed ``group_start`` masks) and the vertex id mapping.  The
+        window ``spec`` and ``first_window`` travel separately — they are
+        tiny picklable metadata, not array payload.
+        """
+        a = self.adjacency
+        return {
+            "in_indptr": a.in_csr.indptr,
+            "in_col": a.in_csr.col,
+            "in_time": a.in_csr.time,
+            "in_group_start": a.in_csr.group_start,
+            "out_indptr": a.out_csr.indptr,
+            "out_col": a.out_csr.col,
+            "out_time": a.out_csr.time,
+            "out_group_start": a.out_csr.group_start,
+            "global_ids": self.global_ids,
+        }
+
+    @classmethod
+    def from_shared_arrays(
+        cls, spec: WindowSpec, first_window: int, arrays: dict
+    ) -> "MultiWindowGraph":
+        """Rebuild a graph from :meth:`shared_arrays` views (zero-copy).
+
+        The arrays may be read-only views into a shared-memory segment;
+        no structure pass (sorting, group-start derivation) is repeated.
+        """
+        n_rows = arrays["in_indptr"].size - 1
+        in_csr = TemporalCSR(
+            arrays["in_indptr"],
+            arrays["in_col"],
+            arrays["in_time"],
+            n_rows,
+            group_start=arrays["in_group_start"],
+        )
+        out_csr = TemporalCSR(
+            arrays["out_indptr"],
+            arrays["out_col"],
+            arrays["out_time"],
+            n_rows,
+            group_start=arrays["out_group_start"],
+        )
+        return cls(
+            spec,
+            first_window,
+            TemporalAdjacency(in_csr, out_csr),
+            arrays["global_ids"],
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -64,6 +64,7 @@ class TemporalCSR:
         col: np.ndarray,
         time: np.ndarray,
         n_rows: int,
+        group_start: Optional[np.ndarray] = None,
     ) -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.col = np.ascontiguousarray(col, dtype=np.int64)
@@ -75,7 +76,18 @@ class TemporalCSR:
             raise GraphBuildError("col/time must both have indptr[-1] entries")
 
         self._row_ids: Optional[np.ndarray] = None
-        self.group_start = self._compute_group_starts()
+        if group_start is not None:
+            # precomputed mask (e.g. attached from a shared-memory arena):
+            # trust it instead of re-deriving — the O(nnz) recompute is
+            # exactly the work zero-copy attachment exists to avoid
+            group_start = np.ascontiguousarray(group_start, dtype=np.bool_)
+            if group_start.size != self.col.size:
+                raise GraphBuildError(
+                    "group_start must have one entry per stored event"
+                )
+            self.group_start = group_start
+        else:
+            self.group_start = self._compute_group_starts()
 
     def _compute_group_starts(self) -> np.ndarray:
         nnz = self.col.size
@@ -111,12 +123,32 @@ class TemporalCSR:
     # ------------------------------------------------------------------
     # window masks — the heart of the representation
     # ------------------------------------------------------------------
-    def active_mask(self, t_start: int, t_end: int) -> np.ndarray:
-        """Events with ``t_start <= t <= t_end``."""
-        return (self.time >= t_start) & (self.time <= t_end)
+    def active_mask(
+        self, t_start: int, t_end: int, workspace=None
+    ) -> np.ndarray:
+        """Events with ``t_start <= t <= t_end``.
+
+        With a :class:`~repro.pagerank.workspace.Workspace` the mask is
+        written into reusable scratch (valid until the workspace's next
+        ``tcsr.*`` request) instead of freshly allocated.
+        """
+        if workspace is None:
+            return (self.time >= t_start) & (self.time <= t_end)
+        nnz = self.col.size
+        active = workspace.buffer("tcsr.active", (nnz,), np.bool_)
+        tmp = workspace.buffer("tcsr.tmp", (nnz,), np.bool_)
+        np.greater_equal(self.time, t_start, out=active)
+        np.less_equal(self.time, t_end, out=tmp)
+        active &= tmp
+        return active
 
     def dedup_mask(
-        self, t_start: int, t_end: int, active: Optional[np.ndarray] = None
+        self,
+        t_start: int,
+        t_end: int,
+        active: Optional[np.ndarray] = None,
+        workspace=None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """First active event of each (row, neighbor) group in the window.
 
@@ -124,23 +156,57 @@ class TemporalCSR:
         on per-group time-sortedness: active events in a group are
         contiguous, so the representative is the event whose predecessor is
         outside the window or in a different group.
+
+        ``workspace`` recycles the construction scratch; ``out`` (shape
+        ``(nnz,)`` bool) additionally receives the result in place for
+        callers that treat the mask itself as transient.
         """
         if active is None:
-            active = self.active_mask(t_start, t_end)
-        dedup = active.copy()
+            active = self.active_mask(t_start, t_end, workspace=workspace)
+        if out is None:
+            dedup = active.copy()
+        else:
+            np.copyto(out, active)
+            dedup = out
         if dedup.size == 0:
             return dedup
-        inherited = ~self.group_start[1:] & active[:-1]
-        dedup[1:] &= ~inherited
+        if workspace is None:
+            inherited = ~self.group_start[1:] & active[:-1]
+            dedup[1:] &= ~inherited
+        else:
+            keep = workspace.buffer(
+                "tcsr.keep", (dedup.size - 1,), np.bool_
+            )
+            # keep = ~inherited = group_start[1:] | ~active[:-1]
+            np.logical_not(self.group_start[1:], out=keep)
+            keep &= active[:-1]
+            np.logical_not(keep, out=keep)
+            dedup[1:] &= keep
         return dedup
 
     def degrees(
-        self, t_start: int, t_end: int, dedup: Optional[np.ndarray] = None
+        self,
+        t_start: int,
+        t_end: int,
+        dedup: Optional[np.ndarray] = None,
+        workspace=None,
     ) -> np.ndarray:
         """Per-row count of distinct active neighbors in the window."""
+        cast = None
         if dedup is None:
-            dedup = self.dedup_mask(t_start, t_end)
-        return segment_count(dedup, self.indptr)
+            out = None
+            if workspace is not None:
+                nnz = self.col.size
+                out = workspace.buffer("tcsr.degrees", (nnz,), np.bool_)
+                cast = workspace.buffer("tcsr.cast", (nnz,), np.int64)
+            dedup = self.dedup_mask(
+                t_start, t_end, workspace=workspace, out=out
+            )
+        elif workspace is not None:
+            cast = workspace.buffer(
+                "tcsr.cast", (self.col.size,), np.int64
+            )
+        return segment_count(dedup, self.indptr, cast_buffer=cast)
 
     def compact_window(self, t_start: int, t_end: int) -> CSRGraph:
         """Materialize the window's simple graph as a plain CSR (row ->
@@ -224,9 +290,14 @@ class TemporalAdjacency:
     def nnz(self) -> int:
         return self.in_csr.nnz
 
-    def window_view(self, window: "Window") -> "WindowView":
-        """Precompute everything one PageRank run needs for ``window``."""
-        return WindowView(self, window)
+    def window_view(self, window: "Window", workspace=None) -> "WindowView":
+        """Precompute everything one PageRank run needs for ``window``.
+
+        ``workspace`` recycles the Θ(nnz) construction scratch across the
+        windows of one partial-init chain (the view's own persistent
+        arrays are still freshly owned).
+        """
+        return WindowView(self, window, workspace=workspace)
 
     def memory_bytes(self) -> int:
         """Total bytes of both orientations."""
@@ -259,15 +330,27 @@ class WindowView:
         "_inv_out",
     )
 
-    def __init__(self, adjacency: TemporalAdjacency, window: "Window") -> None:
+    def __init__(
+        self,
+        adjacency: TemporalAdjacency,
+        window: "Window",
+        workspace=None,
+    ) -> None:
         self.adjacency = adjacency
         self.window = window
         ts, te = window.t_start, window.t_end
 
         in_csr, out_csr = adjacency.in_csr, adjacency.out_csr
-        self.in_dedup = in_csr.dedup_mask(ts, te)
-        self.in_degrees = segment_count(self.in_dedup, in_csr.indptr)
-        self.out_degrees = out_csr.degrees(ts, te)
+        self.in_dedup = in_csr.dedup_mask(ts, te, workspace=workspace)
+        cast = (
+            workspace.buffer("tcsr.cast", (in_csr.col.size,), np.int64)
+            if workspace is not None
+            else None
+        )
+        self.in_degrees = segment_count(
+            self.in_dedup, in_csr.indptr, cast_buffer=cast
+        )
+        self.out_degrees = out_csr.degrees(ts, te, workspace=workspace)
 
         active = (self.in_degrees > 0) | (self.out_degrees > 0)
         self.active_vertices_mask = active

@@ -112,13 +112,19 @@ class MmapEscapeRule(Rule):
 
     name = "mmap-escape"
     description = (
-        "function returns a slice/view of a memory-mapped array without "
-        "copying; the view dangles (and segfaults) once the map is closed"
+        "function returns a slice/view of a memory-mapped or shared-memory "
+        "array without copying; the view dangles (and segfaults) once the "
+        "map is closed or the segment unlinked"
     )
-    scopes = ("service/", "utils/")
+    scopes = ("service/", "utils/", "parallel/")
 
     #: call names that materialize a copy and therefore defuse the escape
     SAFE_CALLS = {"array", "ascontiguousarray", "copy", "deepcopy"}
+
+    #: trailing call names whose result aliases externally-owned memory:
+    #: ``np.memmap`` (rank-store artifacts) and ``.shared_view`` (arena
+    #: segments published by repro.parallel.shared_arena)
+    VIEW_CALLS = {"memmap", "shared_view"}
 
     def run(self, tree: ast.Module) -> None:
         self._tainted_names: Set[str] = set()
@@ -136,12 +142,14 @@ class MmapEscapeRule(Rule):
                             self._tainted_attrs.add(attr)
         self.visit(tree)
 
-    @staticmethod
-    def _is_memmap_call(node: ast.AST) -> bool:
+    def _is_memmap_call(self, node: ast.AST) -> bool:
         if not isinstance(node, ast.Call):
             return False
         dotted = _dotted_name(node.func)
-        return dotted is not None and dotted.split(".")[-1] == "memmap"
+        return (
+            dotted is not None
+            and dotted.split(".")[-1] in self.VIEW_CALLS
+        )
 
     def _tainted(self, node: ast.AST) -> Optional[str]:
         """The mapped array's name if ``node`` aliases one, else None."""
@@ -159,6 +167,8 @@ class MmapEscapeRule(Rule):
         source: Optional[str] = None
         if value is not None:
             source = self._tainted(value)
+            if source is None and self._is_memmap_call(value):
+                source = _dotted_name(value.func)
             if source is None and isinstance(value, ast.Call):
                 func_name = _terminal_name(value.func)
                 if func_name not in self.SAFE_CALLS:

@@ -43,7 +43,7 @@ from repro.pagerank.weighted import pagerank_window_weighted
 __all__ = ["PostmortemOptions", "PostmortemDriver", "solve_multiwindow_graph"]
 
 _KERNELS = ("spmv", "spmm")
-_EXECUTORS = ("serial", "thread", "process")
+_EXECUTORS = ("serial", "thread", "process", "shared")
 
 
 @dataclass(frozen=True)
@@ -64,11 +64,18 @@ class PostmortemOptions:
         SpMM batch width (the paper uses 8 or 16).
     executor:
         ``"serial"``, ``"thread"`` (threads over multi-window graphs;
-        scales only when kernels release the GIL) or ``"process"``
+        scales only when kernels release the GIL), ``"process"``
         (process pool over multi-window graphs; true parallelism on any
-        CPython at the cost of pickling each graph to its worker).
+        CPython at the cost of pickling each graph to its worker) or
+        ``"shared"`` (process pool attached to a shared-memory arena:
+        graphs are published once via
+        :mod:`repro.parallel.shared_arena`, workers receive only
+        segment-name handles — no array payload crosses the pickle
+        boundary — and ``value_sink`` callbacks run in the parent, fed
+        by a result shuttle).
     n_threads:
-        Thread count for the ``"thread"`` executor.
+        Worker count for the ``"thread"``, ``"process"`` and
+        ``"shared"`` executors.
     partition_method:
         ``"uniform"`` (the paper's equal-window-count split),
         ``"minimax"`` or ``"greedy"`` (the work-balanced splits of
@@ -177,12 +184,15 @@ class PostmortemDriver:
         a run persists every vector while holding only one in memory at a
         time.  The sink may be called concurrently under the ``"thread"``
         executor (rank-store writers lock internally); the ``"process"``
-        executor cannot ship a callback to its workers.
+        executor cannot ship a callback to its workers — use
+        ``executor="shared"``, whose result shuttle invokes the sink in
+        the parent process.
         """
         if value_sink is not None and self.options.executor == "process":
             raise ValidationError(
                 "value_sink is not supported with executor='process' "
-                "(the callback cannot cross the process boundary)"
+                "(the callback cannot cross the process boundary); "
+                "use executor='shared', which runs the sink in the parent"
             )
         result = RunResult(model=self.model_name)
         with result.timings.phase("build"):
@@ -191,7 +201,28 @@ class PostmortemDriver:
         task_log: List[TaskRecord] = []
         window_results: Dict[int, WindowResult] = {}
 
-        if (
+        if self.options.executor == "shared" and len(partition) > 1:
+            from repro.parallel.shared_arena import run_shared_tasks
+
+            with result.timings.phase("pagerank"):
+                task_results, stats = run_shared_tasks(
+                    partition.graphs,
+                    _shared_graph_worker,
+                    args=(
+                        self.config,
+                        self.options,
+                        self.events.n_vertices,
+                        store_values,
+                    ),
+                    n_workers=self.options.n_threads,
+                    value_sink=value_sink,
+                )
+            for wrs, tasks, work in task_results:
+                window_results.update(wrs)
+                task_log.extend(tasks)
+                result.work.merge(work)
+            result.metadata["shared_arena"] = stats
+        elif (
             self.options.executor in ("thread", "process")
             and len(partition) > 1
         ):
@@ -224,9 +255,9 @@ class PostmortemDriver:
                         result.work.merge(work)
         else:
             with result.timings.phase("pagerank"):
-                for g in partition:
+                for i, g in enumerate(partition):
                     wrs, tasks, work = self._solve_graph(
-                        g, store_values, value_sink
+                        g, i, store_values, value_sink
                     )
                     window_results.update(wrs)
                     task_log.extend(tasks)
@@ -244,11 +275,19 @@ class PostmortemDriver:
 
     # ------------------------------------------------------------------
     def _solve_graph(
-        self, graph: MultiWindowGraph, store_values: bool, value_sink=None
+        self,
+        graph: MultiWindowGraph,
+        mw_index: int,
+        store_values: bool,
+        value_sink=None,
     ):
         """Solve every window of one multi-window graph (one sequential
-        partial-init chain)."""
-        mw_index = self.partition.graphs.index(graph)
+        partial-init chain).
+
+        ``mw_index`` is passed by the caller: a ``partition.graphs.index``
+        lookup here would rescan the partition (O(Y) comparisons of large
+        graphs) for every graph solved.
+        """
         return solve_multiwindow_graph(
             graph,
             mw_index,
@@ -292,6 +331,32 @@ def _emit_window(
     out[window] = result
 
 
+def _shared_graph_worker(
+    graph: MultiWindowGraph,
+    mw_index: int,
+    sink,
+    config: PagerankConfig,
+    options: PostmortemOptions,
+    n_global_vertices: int,
+    store_values: bool,
+):
+    """Worker entry point for the ``"shared"`` executor.
+
+    Invoked by :func:`repro.parallel.shared_arena.run_shared_tasks` with a
+    graph rebuilt from shared-memory views and a queue-backed ``sink``
+    stand-in (or ``None`` when the run has no ``value_sink``).
+    """
+    return solve_multiwindow_graph(
+        graph,
+        mw_index,
+        config,
+        options,
+        n_global_vertices,
+        store_values,
+        sink,
+    )
+
+
 def solve_multiwindow_graph(
     graph: MultiWindowGraph,
     mw_index: int,
@@ -303,10 +368,18 @@ def solve_multiwindow_graph(
 ):
     """Solve every window of one multi-window graph.
 
-    A module-level function (not a method) so the ``"process"`` executor
-    can ship (graph, config, options) to worker processes; within one
+    A module-level function (not a method) so the ``"process"`` and
+    ``"shared"`` executors can ship it to worker processes; within one
     graph the windows form a sequential partial-initialization chain, so a
     graph is the natural unit of coarse-grained parallelism.
+
+    One kernel :class:`~repro.pagerank.workspace.Workspace` serves the
+    whole chain: window views are built lazily against it and the batch
+    loop retains only the views and rank vectors the *next* batch's
+    partial initialization can reference (a batch's predecessors are, by
+    construction of both schedules, in the immediately preceding batch),
+    so peak memory stays at two batches of scratch regardless of chain
+    length.
     """
     if options.kernel == "spmm" and graph.n_windows > 1:
         batches = spmm_region_schedule(
@@ -316,16 +389,25 @@ def solve_multiwindow_graph(
         batches = sequential_schedule(graph.first_window, graph.n_windows)
 
     from repro.pagerank.result import WorkStats
+    from repro.pagerank.workspace import Workspace
 
     window_results: Dict[int, WindowResult] = {}
     local_values: Dict[int, np.ndarray] = {}
     tasks: List[TaskRecord] = []
     work = WorkStats()
 
-    views = {w: graph.window_view(w) for w in graph.window_indices()}
+    workspace = Workspace()
+    views: Dict[int, object] = {}
+
+    def view_of(w: int):
+        view = views.get(w)
+        if view is None:
+            view = graph.window_view(w, workspace=workspace)
+            views[w] = view
+        return view
 
     for batch in batches:
-        batch_views = [views[w] for w in batch.windows]
+        batch_views = [view_of(w) for w in batch.windows]
         x0_cols = []
         used_partial = False
         for w, pred in zip(batch.windows, batch.predecessors):
@@ -349,7 +431,9 @@ def solve_multiwindow_graph(
                 pagerank_window_weighted if options.weighted
                 else pagerank_window
             )
-            pr = solver(batch_views[0], config, x0=x0_cols[0])
+            pr = solver(
+                batch_views[0], config, x0=x0_cols[0], workspace=workspace
+            )
             local_values[batch.windows[0]] = pr.values
             work.merge(pr.work)
             _emit_window(
@@ -379,7 +463,9 @@ def solve_multiwindow_graph(
             )
         else:
             X0 = np.stack(x0_cols, axis=1)
-            batch_result = pagerank_windows_spmm(batch_views, config, x0=X0)
+            batch_result = pagerank_windows_spmm(
+                batch_views, config, x0=X0, workspace=workspace
+            )
             work.merge(batch_result.work)
             for j, w in enumerate(batch.windows):
                 local_values[w] = batch_result.values[:, j].copy()
@@ -410,4 +496,10 @@ def solve_multiwindow_graph(
                     kernel="spmm",
                 )
             )
+
+        # only this batch's windows can seed the next batch's partial
+        # init; dropping older views/vectors bounds the chain's footprint
+        keep = set(batch.windows)
+        views = {w: v for w, v in views.items() if w in keep}
+        local_values = {w: v for w, v in local_values.items() if w in keep}
     return window_results, tasks, work

@@ -9,6 +9,8 @@
 * :mod:`repro.pagerank.init` — full and partial initialization (eq. 4).
 * :mod:`repro.pagerank.spmm` — the SpMM-inspired multi-window kernel
   (Section 4.4).
+* :mod:`repro.pagerank.workspace` — reusable kernel scratch buffers shared
+  across the windows of one partial-initialization chain.
 """
 
 from repro.pagerank.config import PagerankConfig
@@ -22,8 +24,10 @@ from repro.pagerank.init import full_initialization, partial_initialization
 from repro.pagerank.spmm import pagerank_windows_spmm
 from repro.pagerank.weighted import pagerank_window_weighted, window_edge_weights
 from repro.pagerank.propagation_blocking import pagerank_window_pb
+from repro.pagerank.workspace import Workspace
 
 __all__ = [
+    "Workspace",
     "PagerankConfig",
     "PagerankResult",
     "BatchPagerankResult",

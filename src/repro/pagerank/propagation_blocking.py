@@ -39,10 +39,13 @@ class PropagationBlockingKernel:
     accumulates bin by bin.
     """
 
-    def __init__(self, view: WindowView, n_bins: int = 16) -> None:
+    def __init__(
+        self, view: WindowView, n_bins: int = 16, workspace=None
+    ) -> None:
         if n_bins <= 0:
             raise ValidationError("n_bins must be > 0")
         self.view = view
+        self.workspace = workspace
         adjacency = view.adjacency
         out_csr = adjacency.out_csr
         ts, te = view.window.t_start, view.window.t_end
@@ -66,16 +69,29 @@ class PropagationBlockingKernel:
         )
         self.bin_width = bin_width
 
-    def iterate(self, w: np.ndarray) -> np.ndarray:
+    def iterate(self, w: np.ndarray, out: np.ndarray = None) -> np.ndarray:
         """One push phase: ``y[v] = Σ_{(u, v) active} w[u]`` via binning.
 
-        ``w`` is the per-source share vector (``x * inv_outdeg``).
+        ``w`` is the per-source share vector (``x * inv_outdeg``).  ``out``
+        optionally receives the result in place (fully overwritten); with a
+        kernel workspace the gather buffer is recycled across iterations.
         """
         # phase 1: binning — one streaming gather into bin-grouped buffers
-        contrib = w[self.src]
+        ws = self.workspace
+        if ws is None:
+            contrib = w[self.src]
+        else:
+            contrib = ws.buffer(
+                "pb.contrib", (self.src.size,), np.float64
+            )
+            np.take(w, self.src, out=contrib)
         # phase 2: per-bin accumulation — each bin's destination range is
         # contiguous and cache-sized
-        y = np.zeros(self.n_vertices, dtype=np.float64)
+        if out is None:
+            y = np.zeros(self.n_vertices, dtype=np.float64)
+        else:
+            y = out
+            y.fill(0)
         for b in range(self.n_bins):
             lo, hi = self.bin_starts[b], self.bin_ends[b]
             if lo == hi:
@@ -96,11 +112,14 @@ def pagerank_window_pb(
     x0: Optional[np.ndarray] = None,
     n_bins: int = 16,
     kernel: Optional[PropagationBlockingKernel] = None,
+    workspace=None,
 ) -> PagerankResult:
     """Window PageRank with the propagation-blocking push kernel.
 
     Produces the same iterates as :func:`~repro.pagerank.spmv.
     pagerank_window` (the reduction order differs only within bins).
+    ``workspace`` recycles the gather and rank scratch across windows;
+    returned values are always freshly owned.
     """
     n = view.adjacency.n_vertices
     n_active = view.n_active_vertices
@@ -108,19 +127,32 @@ def pagerank_window_pb(
         return PagerankResult(
             values=np.zeros(n, dtype=np.float64), iterations=0, converged=True, residual=0.0
         )
+    ws = workspace
     if kernel is None:
-        kernel = PropagationBlockingKernel(view, n_bins=n_bins)
+        kernel = PropagationBlockingKernel(view, n_bins=n_bins, workspace=ws)
+    elif ws is None:
+        ws = kernel.workspace
 
     inv_out = view.inverse_out_degrees()
     active_mask = view.active_vertices_mask
     dangling = active_mask & (view.out_degrees == 0)
 
+    if ws is not None:
+        rank0 = ws.buffer("pb.rank0", (n,), np.float64)
+        rank1 = ws.buffer("pb.rank1", (n,), np.float64)
+        w_buf = ws.buffer("pb.w", (n,), np.float64)
+        resid = ws.buffer("pb.resid", (n,), np.float64)
+
     if x0 is None:
         x = full_initialization(view)
     else:
-        x = np.asarray(x0, dtype=np.float64).copy()
+        x = np.asarray(x0, dtype=np.float64)
         if x.shape != (n,):
             raise ValidationError(f"x0 must have shape ({n},)")
+        x = x.copy() if ws is None else x
+    if ws is not None:
+        np.copyto(rank0, x)
+        x = rank0
 
     alpha = config.alpha
     damping = config.damping
@@ -129,8 +161,12 @@ def pagerank_window_pb(
     residual = np.inf
 
     for it in range(1, config.max_iterations + 1):
-        w = x * inv_out
-        y = kernel.iterate(w)
+        if ws is None:
+            w = x * inv_out
+            y = kernel.iterate(w)
+        else:
+            np.multiply(x, inv_out, out=w_buf)
+            y = kernel.iterate(w_buf, out=rank1 if x is rank0 else rank0)
         y *= damping
         if config.dangling == "uniform":
             dangling_mass = float(x[dangling].sum())
@@ -139,18 +175,28 @@ def pagerank_window_pb(
         y[active_mask] += teleport
         y[~active_mask] = 0.0
 
-        residual = float(np.abs(y - x).sum())
+        if ws is None:
+            residual = float(np.abs(y - x).sum())
+        else:
+            np.subtract(y, x, out=resid)
+            np.abs(resid, out=resid)
+            residual = float(resid.sum())
         x = y
         work.iterations += 1
         work.edge_traversals += kernel.src.size
         work.active_edge_traversals += kernel.src.size
         work.vertex_ops += n_active
         if residual < config.tolerance:
-            return PagerankResult(x, it, True, residual, work)
+            return PagerankResult(
+                x if ws is None else x.copy(), it, True, residual, work
+            )
 
     if config.strict:
         raise ConvergenceError(
             f"PB kernel did not converge in {config.max_iterations} "
             f"iterations (residual {residual:.3e})"
         )
-    return PagerankResult(x, config.max_iterations, False, residual, work)
+    return PagerankResult(
+        x if ws is None else x.copy(),
+        config.max_iterations, False, residual, work,
+    )

@@ -38,6 +38,7 @@ def pagerank_windows_spmm(
     views: Sequence[WindowView],
     config: PagerankConfig = PagerankConfig(),
     x0: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> BatchPagerankResult:
     """Solve k windows of one multi-window graph simultaneously.
 
@@ -49,6 +50,15 @@ def pagerank_windows_spmm(
     x0:
         Optional ``(n, k)`` initial matrix (column j initializes
         ``views[j]``); columns default to full initialization.
+    workspace:
+        Optional :class:`~repro.pagerank.workspace.Workspace`.  The stacked
+        structure matrices (the ``(nnz, k)`` dedup mask — the batch's
+        dominant allocation — plus degrees/activity) and the per-iteration
+        gather/reduce buffers are recycled across same-width batches of a
+        chain.  Once columns start converging the live subset shrinks and
+        the kernel falls back to the allocating slow path for those
+        iterations; results are bitwise-identical either way, and returned
+        values are always freshly owned.
 
     Returns
     -------
@@ -69,25 +79,57 @@ def pagerank_windows_spmm(
     k = len(views)
     in_csr = adjacency.in_csr
     col = in_csr.col
+    nnz = in_csr.nnz
+    ws = workspace
 
     # stack per-window structure data: (nnz, k) masks, (n, k) degrees
-    dedup = np.stack([v.in_dedup for v in views], axis=1)
-    inv_out = np.stack([v.inverse_out_degrees() for v in views], axis=1)
-    active = np.stack([v.active_vertices_mask for v in views], axis=1)
+    if ws is None:
+        dedup = np.stack([v.in_dedup for v in views], axis=1)
+        inv_out = np.stack([v.inverse_out_degrees() for v in views], axis=1)
+        active = np.stack([v.active_vertices_mask for v in views], axis=1)
+        dangling = active & np.stack(
+            [v.out_degrees == 0 for v in views], axis=1
+        )
+    else:
+        dedup = np.stack(
+            [v.in_dedup for v in views], axis=1,
+            out=ws.buffer("spmm.dedup", (nnz, k), np.bool_),
+        )
+        inv_out = np.stack(
+            [v.inverse_out_degrees() for v in views], axis=1,
+            out=ws.buffer("spmm.inv_out", (n, k), np.float64),
+        )
+        active = np.stack(
+            [v.active_vertices_mask for v in views], axis=1,
+            out=ws.buffer("spmm.active", (n, k), np.bool_),
+        )
+        dangling = np.stack(
+            [v.out_degrees == 0 for v in views], axis=1,
+            out=ws.buffer("spmm.dangling", (n, k), np.bool_),
+        )
+        dangling &= active
     n_active = np.array([v.n_active_vertices for v in views], dtype=np.int64)
-    dangling = active & np.stack(
-        [v.out_degrees == 0 for v in views], axis=1
-    )
     active_edge_counts = np.array(
         [v.n_active_edges for v in views], dtype=np.int64
     )
 
     if x0 is None:
-        X = np.stack([full_initialization(v) for v in views], axis=1)
+        if ws is None:
+            X = np.stack([full_initialization(v) for v in views], axis=1)
+        else:
+            X = np.stack(
+                [full_initialization(v) for v in views], axis=1,
+                out=ws.buffer("spmm.X", (n, k), np.float64),
+            )
     else:
-        X = np.asarray(x0, dtype=np.float64).copy()
-        if X.shape != (n, k):
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != (n, k):
             raise ValidationError(f"x0 must have shape ({n}, {k})")
+        if ws is None:
+            X = x0.copy()
+        else:
+            X = ws.buffer("spmm.X", (n, k), np.float64)
+            np.copyto(X, x0)
 
     alpha = config.alpha
     damping = config.damping
@@ -106,17 +148,36 @@ def pagerank_windows_spmm(
     while live.any() and it < config.max_iterations:
         it += 1
         idx = np.flatnonzero(live)
-        Xl = X[:, idx]
-        W = Xl * inv_out[:, idx]
-        # one structure pass for every live window
-        C = W[col, :] * dedup[:, idx]
-        Y = segment_sum(C, in_csr.indptr)
+        if ws is not None and idx.size == k:
+            # full-width fast path: every window still live, so the
+            # workspace buffers apply directly with no column selection
+            Xl = X
+            W = np.multiply(
+                X, inv_out, out=ws.buffer("spmm.W", (n, k), np.float64)
+            )
+            C = ws.buffer("spmm.C", (nnz, k), np.float64)
+            np.take(W, col, axis=0, out=C)
+            C *= dedup
+            Y = segment_sum(
+                C, in_csr.indptr,
+                out=ws.buffer("spmm.Y", (n, k), np.float64),
+            )
+            act = active
+            dang = dangling
+        else:
+            Xl = X[:, idx]
+            W = Xl * inv_out[:, idx]
+            # one structure pass for every live window
+            C = W[col, :] * dedup[:, idx]
+            Y = segment_sum(C, in_csr.indptr)
+            act = active[:, idx]
+            dang = dangling[:, idx]
         Y *= damping
         if config.dangling == "uniform":
-            dmass = np.sum(Xl * dangling[:, idx], axis=0)
-            Y += (damping * dmass / safe_active[idx]) * active[:, idx]
-        Y += teleport[idx] * active[:, idx]
-        Y[~active[:, idx]] = 0.0
+            dmass = np.sum(Xl * dang, axis=0)
+            Y += (damping * dmass / safe_active[idx]) * act
+        Y += teleport[idx] * act
+        Y[~act] = 0.0
 
         res = np.abs(Y - Xl).sum(axis=0)
         X[:, idx] = Y
@@ -140,7 +201,7 @@ def pagerank_windows_spmm(
         )
 
     return BatchPagerankResult(
-        values=X,
+        values=X if ws is None else X.copy(),
         window_indices=[v.window.index for v in views],
         iterations_per_window=iterations,
         converged=converged,

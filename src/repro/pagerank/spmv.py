@@ -37,6 +37,7 @@ def pagerank_window(
     view: WindowView,
     config: PagerankConfig = PagerankConfig(),
     x0: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> PagerankResult:
     """Compute PageRank for one window of a temporal adjacency.
 
@@ -51,6 +52,13 @@ def pagerank_window(
         Optional initial vector (e.g. from
         :func:`~repro.pagerank.init.partial_initialization`); defaults to
         the uniform full initialization.
+    workspace:
+        Optional :class:`~repro.pagerank.workspace.Workspace` supplying the
+        per-iteration scratch (share vector, Θ(nnz) contribution buffer,
+        rank ping-pong pair, residual buffer) so a multi-window chain pays
+        the allocator once instead of per window per iteration.  Results
+        are bitwise-identical with and without a workspace; the returned
+        values are always a freshly owned array.
 
     Returns
     -------
@@ -69,18 +77,33 @@ def pagerank_window(
     in_csr = adjacency.in_csr
     dedup = view.in_dedup
     col = in_csr.col
+    nnz = in_csr.nnz
     inv_out = view.inverse_out_degrees()
     active_mask = view.active_vertices_mask
     dangling = active_mask & (view.out_degrees == 0)
 
+    ws = workspace
+    if ws is not None:
+        # ping-pong rank buffers: x and y alternate between the pair so an
+        # iteration never reads the array it is writing
+        rank0 = ws.buffer("spmv.rank0", (n,), np.float64)
+        rank1 = ws.buffer("spmv.rank1", (n,), np.float64)
+        w_buf = ws.buffer("spmv.w", (n,), np.float64)
+        contrib = ws.buffer("spmv.contrib", (nnz,), np.float64)
+        resid = ws.buffer("spmv.resid", (n,), np.float64)
+
     if x0 is None:
         x = full_initialization(view)
     else:
-        x = np.asarray(x0, dtype=np.float64).copy()
+        x = np.asarray(x0, dtype=np.float64)
         if x.shape != (n,):
             raise ValidationError(
                 f"x0 must have shape ({n},), got {x.shape}"
             )
+        x = x.copy() if ws is None else x
+    if ws is not None:
+        np.copyto(rank0, x)
+        x = rank0
 
     alpha = config.alpha
     damping = config.damping
@@ -89,9 +112,16 @@ def pagerank_window(
     residual = np.inf
 
     for it in range(1, config.max_iterations + 1):
-        w = x * inv_out
-        contrib = np.where(dedup, w[col], 0.0)
-        y = segment_sum(contrib, in_csr.indptr)
+        if ws is None:
+            w = x * inv_out
+            contrib = np.where(dedup, w[col], 0.0)
+            y = segment_sum(contrib, in_csr.indptr)
+        else:
+            np.multiply(x, inv_out, out=w_buf)
+            np.take(w_buf, col, out=contrib)
+            contrib *= dedup
+            y = rank1 if x is rank0 else rank0
+            segment_sum(contrib, in_csr.indptr, out=y)
         y *= damping
         if config.dangling == "uniform":
             dangling_mass = float(x[dangling].sum())
@@ -100,18 +130,28 @@ def pagerank_window(
         y[active_mask] += teleport
         y[~active_mask] = 0.0
 
-        residual = float(np.abs(y - x).sum())
+        if ws is None:
+            residual = float(np.abs(y - x).sum())
+        else:
+            np.subtract(y, x, out=resid)
+            np.abs(resid, out=resid)
+            residual = float(resid.sum())
         x = y
         work.iterations += 1
         work.edge_traversals += in_csr.nnz
         work.active_edge_traversals += view.n_active_edges
         work.vertex_ops += n_active
         if residual < config.tolerance:
-            return PagerankResult(x, it, True, residual, work)
+            return PagerankResult(
+                x if ws is None else x.copy(), it, True, residual, work
+            )
 
     if config.strict:
         raise ConvergenceError(
             f"window {view.window.index} did not converge in "
             f"{config.max_iterations} iterations (residual {residual:.3e})"
         )
-    return PagerankResult(x, config.max_iterations, False, residual, work)
+    return PagerankResult(
+        x if ws is None else x.copy(),
+        config.max_iterations, False, residual, work,
+    )

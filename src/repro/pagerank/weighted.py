@@ -61,11 +61,14 @@ def pagerank_window_weighted(
     view: WindowView,
     config: PagerankConfig = PagerankConfig(),
     x0: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> PagerankResult:
     """Multiplicity-weighted PageRank for one window.
 
     Same convergence/dangling semantics as the unweighted kernel; with all
     multiplicities equal to 1 the two kernels coincide exactly (tested).
+    ``workspace`` recycles the per-iteration share/contribution/rank
+    scratch; returned values are always freshly owned.
     """
     adjacency = view.adjacency
     n = adjacency.n_vertices
@@ -90,12 +93,25 @@ def pagerank_window_weighted(
     active_mask = view.active_vertices_mask
     dangling = active_mask & ~nz
 
+    ws = workspace
+    nnz = in_csr.nnz
+    if ws is not None:
+        rank0 = ws.buffer("wspmv.rank0", (n,), np.float64)
+        rank1 = ws.buffer("wspmv.rank1", (n,), np.float64)
+        w_buf = ws.buffer("wspmv.w", (n,), np.float64)
+        contrib_buf = ws.buffer("wspmv.contrib", (nnz,), np.float64)
+        resid = ws.buffer("wspmv.resid", (n,), np.float64)
+
     if x0 is None:
         x = full_initialization(view)
     else:
-        x = np.asarray(x0, dtype=np.float64).copy()
+        x = np.asarray(x0, dtype=np.float64)
         if x.shape != (n,):
             raise ValidationError(f"x0 must have shape ({n},)")
+        x = x.copy() if ws is None else x
+    if ws is not None:
+        np.copyto(rank0, x)
+        x = rank0
 
     alpha = config.alpha
     damping = config.damping
@@ -104,9 +120,17 @@ def pagerank_window_weighted(
     residual = np.inf
 
     for it in range(1, config.max_iterations + 1):
-        w = x * inv_strength
-        contrib = weights * np.where(dedup, w[col], 0.0)
-        y = segment_sum(contrib, in_csr.indptr)
+        if ws is None:
+            w = x * inv_strength
+            contrib = weights * np.where(dedup, w[col], 0.0)
+            y = segment_sum(contrib, in_csr.indptr)
+        else:
+            np.multiply(x, inv_strength, out=w_buf)
+            np.take(w_buf, col, out=contrib_buf)
+            contrib_buf *= dedup
+            contrib_buf *= weights
+            y = rank1 if x is rank0 else rank0
+            segment_sum(contrib_buf, in_csr.indptr, out=y)
         y *= damping
         if config.dangling == "uniform":
             dangling_mass = float(x[dangling].sum())
@@ -115,18 +139,28 @@ def pagerank_window_weighted(
         y[active_mask] += teleport
         y[~active_mask] = 0.0
 
-        residual = float(np.abs(y - x).sum())
+        if ws is None:
+            residual = float(np.abs(y - x).sum())
+        else:
+            np.subtract(y, x, out=resid)
+            np.abs(resid, out=resid)
+            residual = float(resid.sum())
         x = y
         work.iterations += 1
         work.edge_traversals += in_csr.nnz
         work.active_edge_traversals += view.n_active_edges
         work.vertex_ops += n_active
         if residual < config.tolerance:
-            return PagerankResult(x, it, True, residual, work)
+            return PagerankResult(
+                x if ws is None else x.copy(), it, True, residual, work
+            )
 
     if config.strict:
         raise ConvergenceError(
             f"weighted kernel did not converge in {config.max_iterations} "
             f"iterations"
         )
-    return PagerankResult(x, config.max_iterations, False, residual, work)
+    return PagerankResult(
+        x if ws is None else x.copy(),
+        config.max_iterations, False, residual, work,
+    )

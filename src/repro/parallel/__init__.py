@@ -8,6 +8,12 @@ directly, so this package provides both:
   :mod:`repro.parallel.workstealing`) — thread-based chunk execution with a
   work-stealing deque scheduler.  Functionally correct anywhere; actual
   scaling requires a multicore GIL-releasing host.
+* **A shared-memory process backend** (:mod:`repro.parallel.shared_arena`)
+  — multi-window graphs published once into ``multiprocessing``
+  shared-memory arenas; worker processes attach by segment name (no array
+  payload crosses the pickle boundary) and window results stream back to
+  the parent through a queue-drained shuttle, so ``value_sink`` callbacks
+  work under true process parallelism.
 * **A simulated machine** (:mod:`repro.parallel.simulator`,
   :mod:`repro.parallel.levels`) — a discrete-event model of a P-core
   work-stealing runtime executing the *same task DAG* (window chunks /
@@ -47,8 +53,22 @@ from repro.parallel.tracing import (
 )
 from repro.parallel.executor import ChunkedThreadExecutor
 from repro.parallel.workstealing import WorkStealingPool
+from repro.parallel.shared_arena import (
+    ArenaHandle,
+    SharedArena,
+    SharedArenaRegistry,
+    SharedGraphHandle,
+    attach_arena,
+    run_shared_tasks,
+)
 
 __all__ = [
+    "ArenaHandle",
+    "SharedArena",
+    "SharedArenaRegistry",
+    "SharedGraphHandle",
+    "attach_arena",
+    "run_shared_tasks",
     "Partitioner",
     "AUTO",
     "SIMPLE",

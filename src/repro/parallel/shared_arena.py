@@ -1,0 +1,508 @@
+"""Zero-copy shared-memory publication of multi-window graphs.
+
+The postmortem model's whole advantage is building the temporal CSR
+**once**; the pickled ``executor="process"`` path gives that advantage
+back by serializing every graph's ``indptr/col/time`` arrays into each
+worker.  This module publishes the read-only structure arrays into
+POSIX shared memory (``multiprocessing.shared_memory``) instead, so a
+task submission carries only a few-hundred-byte *handle* — the segment
+name plus an offset manifest — and workers reconstruct
+:class:`~repro.graph.multiwindow.MultiWindowGraph` objects as zero-copy
+views into the same physical pages.
+
+Ownership model (see docs/architecture.md for the diagram):
+
+* the **parent** process creates segments via :class:`SharedArenaRegistry`
+  and is the only process that ever ``unlink``\\ s them — teardown runs in
+  a ``finally`` (plus an ``atexit`` safety net), so segments are reclaimed
+  after normal exit, driver exceptions, *and* killed workers;
+* **workers** only attach.  A worker crash cannot leak ``/dev/shm``
+  entries because attaching never creates one, and the per-process
+  attachment cache keeps repeated tasks on the same segment free.
+
+Results flow back through a queue drained by a parent-side thread, which
+is what lets ``value_sink`` callbacks (e.g. a streaming
+:class:`~repro.service.RankStoreWriter`) work under process execution:
+workers put ``(window, values, meta)`` tuples, the drain thread invokes
+the user callback in the parent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.events.windows import WindowSpec
+from repro.graph.multiwindow import MultiWindowGraph
+
+__all__ = [
+    "ArrayDesc",
+    "ArenaHandle",
+    "ArenaView",
+    "SharedArena",
+    "SharedArenaRegistry",
+    "SharedGraphHandle",
+    "attach_arena",
+    "run_shared_tasks",
+]
+
+_LOG = logging.getLogger("repro.parallel.shared_arena")
+
+#: byte alignment of every packed array (cache-line / SIMD friendly)
+_ALIGNMENT = 64
+
+#: /dev/shm name prefix of every segment this module creates — the
+#: lifecycle tests grep for it to prove nothing leaks
+ARENA_NAME_PREFIX = "repro_arena"
+
+#: per-process cache of attached segments: segment name -> ArenaView
+_ATTACH_CACHE: Dict[str, "ArenaView"] = {}
+
+#: per-process cache of graphs rebuilt from arena views
+_GRAPH_CACHE: Dict[Tuple[str, str], MultiWindowGraph] = {}
+
+#: worker-process state installed by the pool initializer
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+@dataclass(frozen=True)
+class ArrayDesc:
+    """Location of one packed array inside a segment (picklable)."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        n = np.dtype(self.dtype).itemsize
+        for dim in self.shape:
+            n *= dim
+        return n
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Everything a worker needs to attach: name + manifest (picklable)."""
+
+    segment: str
+    manifest: Tuple[ArrayDesc, ...]
+
+    def attach(self) -> "ArenaView":
+        """Open the segment in this process (cached; see
+        :func:`attach_arena`)."""
+        return attach_arena(self)
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(d.key for d in self.manifest)
+
+
+class ArenaView:
+    """An attached segment plus lazily-created read-only array views.
+
+    Note on CPython's shared-memory resource tracker: attaching registers
+    the segment name again (bpo-39959), but our workers are always
+    children of the creating parent and therefore share its tracker
+    process, where registration is idempotent by name — the parent's
+    single ``unlink`` balances the books.  Explicitly unregistering
+    attachments here would strip the parent's own registration from the
+    shared tracker and make the eventual unlink error.
+    """
+
+    def __init__(self, handle: ArenaHandle) -> None:
+        self._shm = shared_memory.SharedMemory(name=handle.segment)
+        self._descs: Dict[str, ArrayDesc] = {
+            d.key: d for d in handle.manifest
+        }
+        self._views: Dict[str, np.ndarray] = {}
+        self.segment = handle.segment
+
+    def shared_view(self, key: str) -> np.ndarray:
+        """A read-only zero-copy view of one published array.
+
+        The view aliases shared pages: it is valid only while this
+        process's attachment is open, and callers that outlive the arena
+        must copy.  Functions outside this module that hand such views
+        onward are flagged by the ``mmap-escape`` lint rule unless they
+        justify it.
+        """
+        arr = self._views.get(key)
+        if arr is None:
+            desc = self._descs.get(key)
+            if desc is None:
+                raise ValidationError(
+                    f"segment {self.segment!r} has no array {key!r}"
+                )
+            arr = np.ndarray(
+                desc.shape,
+                dtype=np.dtype(desc.dtype),
+                buffer=self._shm.buf,
+                offset=desc.offset,
+            )
+            arr.flags.writeable = False
+            self._views[key] = arr
+        # lint: disable=mmap-escape — the accessor itself is the one
+        # sanctioned zero-copy boundary (documented contract above)
+        return arr
+
+    def arrays(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """All views whose key starts with ``prefix``, keys de-prefixed."""
+        return {
+            d.key[len(prefix):]: self.shared_view(d.key)
+            for d in self._descs.values()
+            if d.key.startswith(prefix)
+        }
+
+    def close(self) -> None:
+        """Drop the views and this process's mapping (never unlinks)."""
+        self._views.clear()
+        _ATTACH_CACHE.pop(self.segment, None)
+        stale = [k for k, g in _GRAPH_CACHE.items() if k[0] == self.segment]
+        for k in stale:
+            del _GRAPH_CACHE[k]
+        try:
+            self._shm.close()
+        except BufferError as exc:
+            # a caller still holds a view; the mapping lives until that
+            # reference dies, but the segment itself is not leaked (only
+            # the creator's unlink controls /dev/shm)
+            _LOG.warning("arena %s close deferred: %s", self.segment, exc)
+
+
+def attach_arena(handle: ArenaHandle) -> ArenaView:
+    """Attach to a published segment, reusing this process's mapping."""
+    view = _ATTACH_CACHE.get(handle.segment)
+    if view is None:
+        view = ArenaView(handle)
+        _ATTACH_CACHE[handle.segment] = view
+    return view
+
+
+class SharedArena:
+    """One shared-memory segment holding a set of packed arrays.
+
+    Created (and eventually unlinked) by the parent process only; workers
+    go through :class:`ArenaHandle`/:func:`attach_arena`.
+    """
+
+    def __init__(
+        self, arrays: Dict[str, np.ndarray], name: Optional[str] = None
+    ) -> None:
+        descs: List[ArrayDesc] = []
+        payload: List[np.ndarray] = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = _aligned(offset)
+            descs.append(
+                ArrayDesc(
+                    key=key,
+                    dtype=arr.dtype.str,
+                    shape=tuple(arr.shape),
+                    offset=offset,
+                )
+            )
+            payload.append(arr)
+            offset += arr.nbytes
+        if name is None:
+            name = (
+                f"{ARENA_NAME_PREFIX}_{os.getpid()}_{uuid.uuid4().hex[:12]}"
+            )
+        self.name = name
+        self.nbytes = offset
+        self._shm = shared_memory.SharedMemory(
+            create=True, name=name, size=max(offset, 1)
+        )
+        for desc, arr in zip(descs, payload):
+            if arr.nbytes == 0:
+                continue
+            dst = np.ndarray(
+                desc.shape,
+                dtype=arr.dtype,
+                buffer=self._shm.buf,
+                offset=desc.offset,
+            )
+            dst[...] = arr
+            del dst  # release the buffer export before any close()
+        self.manifest: Tuple[ArrayDesc, ...] = tuple(descs)
+        self._destroyed = False
+
+    def handle(self) -> ArenaHandle:
+        return ArenaHandle(segment=self.name, manifest=self.manifest)
+
+    def destroy(self, unlink: bool = True) -> None:
+        """Unlink (reclaim the /dev/shm entry) and close our mapping.
+
+        Unlink happens *first*: even if a still-exported view keeps the
+        local mapping alive, the named segment is gone and cannot leak.
+        Idempotent.
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError as exc:
+                _LOG.debug("arena %s already unlinked: %s", self.name, exc)
+        view = _ATTACH_CACHE.get(self.name)
+        if view is not None:
+            view.close()
+        try:
+            self._shm.close()
+        except BufferError as exc:
+            _LOG.warning("arena %s close deferred: %s", self.name, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedArena({self.name!r}, arrays={len(self.manifest)}, "
+            f"bytes={self.nbytes})"
+        )
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable reference to one multi-window graph inside an arena.
+
+    Carries only metadata — the arena handle, this graph's key prefix,
+    its :class:`WindowSpec` and first window — never array payload; that
+    is the property the pickle-size probe in the tests asserts.
+    """
+
+    arena: ArenaHandle
+    prefix: str
+    spec: WindowSpec
+    first_window: int
+
+    def materialize(self) -> MultiWindowGraph:
+        """Rebuild the graph as zero-copy views (cached per process)."""
+        key = (self.arena.segment, self.prefix)
+        graph = _GRAPH_CACHE.get(key)
+        if graph is None:
+            view = attach_arena(self.arena)
+            graph = MultiWindowGraph.from_shared_arrays(
+                self.spec, self.first_window, view.arrays(self.prefix)
+            )
+            _GRAPH_CACHE[key] = graph
+        return graph
+
+
+class SharedArenaRegistry:
+    """Owns every arena a run creates and guarantees reclamation.
+
+    Use as a context manager (or call :meth:`close` in a ``finally``);
+    an ``atexit`` hook is the last-resort net for interpreter exit with
+    the registry still open.  Single-threaded by design: one registry
+    belongs to one driver run in one thread.
+    """
+
+    def __init__(self) -> None:
+        self._arenas: List[SharedArena] = []
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def publish(self, arrays: Dict[str, np.ndarray]) -> ArenaHandle:
+        """Pack ``arrays`` into a fresh segment; returns its handle."""
+        if self._closed:
+            raise ValidationError("registry is closed")
+        arena = SharedArena(arrays)
+        self._arenas.append(arena)
+        return arena.handle()
+
+    def publish_graphs(
+        self, graphs: Sequence[MultiWindowGraph]
+    ) -> List[SharedGraphHandle]:
+        """Publish a partition's graphs into one segment.
+
+        All graphs share a single segment (one create/unlink pair, one
+        attach per worker); keys are namespaced ``g{i}/...``.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        metas: List[Tuple[str, WindowSpec, int]] = []
+        for gi, graph in enumerate(graphs):
+            prefix = f"g{gi}/"
+            for key, arr in graph.shared_arrays().items():
+                arrays[prefix + key] = arr
+            metas.append((prefix, graph.spec, graph.first_window))
+        handle = self.publish(arrays)
+        return [
+            SharedGraphHandle(
+                arena=handle, prefix=p, spec=s, first_window=fw
+            )
+            for p, s, fw in metas
+        ]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.nbytes for a in self._arenas)
+
+    @property
+    def segments(self) -> List[str]:
+        return [a.name for a in self._arenas]
+
+    def close(self, unlink: bool = True) -> None:
+        """Destroy every arena (idempotent; safe from atexit)."""
+        if self._closed:
+            return
+        self._closed = True
+        for arena in self._arenas:
+            arena.destroy(unlink=unlink)
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SharedArenaRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# result shuttle: worker -> queue -> parent drain thread -> value_sink
+# ----------------------------------------------------------------------
+class _SinkDrain:
+    """Parent-side thread that forwards queued window results to the
+    user's ``value_sink`` callback."""
+
+    def __init__(self, sink: Callable, ctx) -> None:
+        self.queue = ctx.Queue()
+        self._sink = sink
+        self.error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._loop, name="arena-sink-drain", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            if self.error is not None:
+                continue  # keep draining so workers never block, drop
+            try:
+                self._sink(*item)
+            except BaseException as exc:  # surface via finish()
+                self.error = exc
+
+    def finish(self) -> Optional[BaseException]:
+        """Stop the thread and report the first sink error (if any)."""
+        self.queue.put(None)
+        self._thread.join()
+        return self.error
+
+
+def _init_worker(sink_queue) -> None:
+    """Pool initializer: installs the result queue in the worker."""
+    _WORKER_STATE["sink_queue"] = sink_queue
+
+
+def _worker_sink(window_index: int, values, meta) -> None:
+    """The ``value_sink`` stand-in inside workers: ship, don't call."""
+    queue = _WORKER_STATE.get("sink_queue")
+    if queue is None:
+        raise ValidationError(
+            "worker has no sink queue (pool started without initializer)"
+        )
+    queue.put((window_index, values, meta))
+
+
+def _run_task(
+    handle: SharedGraphHandle,
+    index: int,
+    worker: Callable,
+    args: Tuple,
+    use_sink: bool,
+):
+    """Module-level task shim executed inside worker processes."""
+    graph = handle.materialize()
+    sink = _worker_sink if use_sink else None
+    return worker(graph, index, sink, *args)
+
+
+def run_shared_tasks(
+    graphs: Sequence[MultiWindowGraph],
+    worker: Callable,
+    args: Tuple = (),
+    n_workers: int = 2,
+    value_sink: Optional[Callable] = None,
+    mp_context=None,
+):
+    """Execute ``worker(graph, index, sink, *args)`` per graph in a
+    process pool attached to a shared-memory arena.
+
+    ``worker`` must be a module-level callable (pickled by reference).
+    ``value_sink(window, values, meta)``, when given, is invoked in the
+    *parent* by a drain thread fed from a worker-side queue.
+
+    Returns ``(results, stats)`` where ``results`` is per-graph worker
+    return values in submission order and ``stats`` records the dispatch
+    cost: pickled payload bytes per task (the probe the tests and the
+    shared-memory benchmark assert on), arena bytes, and publish time.
+    """
+    if n_workers <= 0:
+        raise ValidationError("n_workers must be > 0")
+    ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+    registry = SharedArenaRegistry()
+    drain: Optional[_SinkDrain] = None
+    stats: Dict[str, object] = {}
+    try:
+        t0 = time.perf_counter()
+        handles = registry.publish_graphs(graphs)
+        stats["publish_seconds"] = time.perf_counter() - t0
+        stats["arena_bytes"] = registry.total_bytes
+        stats["segments"] = list(registry.segments)
+
+        initializer = None
+        initargs: Tuple = ()
+        if value_sink is not None:
+            drain = _SinkDrain(value_sink, ctx)
+            drain.start()
+            initializer = _init_worker
+            initargs = (drain.queue,)
+
+        payloads = [
+            (h, i, worker, tuple(args), value_sink is not None)
+            for i, h in enumerate(handles)
+        ]
+        stats["payload_bytes"] = sum(
+            len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
+            for p in payloads
+        )
+        stats["n_tasks"] = len(payloads)
+
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = [pool.submit(_run_task, *p) for p in payloads]
+            results = [f.result() for f in futures]
+    finally:
+        sink_error = drain.finish() if drain is not None else None
+        registry.close(unlink=True)
+    if sink_error is not None:
+        raise sink_error
+    return results, stats

@@ -45,7 +45,11 @@ def _check_indptr(indptr: np.ndarray, n_values: int) -> np.ndarray:
     return indptr
 
 
-def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+def segment_sum(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    out: np.ndarray = None,
+) -> np.ndarray:
     """Sum ``values`` within each CSR segment.
 
     Parameters
@@ -56,6 +60,11 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     indptr:
         CSR index pointer of length ``n_segments + 1`` with
         ``indptr[0] == 0`` and ``indptr[-1] == nnz``.
+    out:
+        Optional preallocated result array of shape
+        ``(n_segments,) + values.shape[1:]`` and matching dtype — a
+        :class:`~repro.pagerank.workspace.Workspace` buffer in the hot
+        kernels.  Its contents are fully overwritten.
 
     Returns
     -------
@@ -66,17 +75,24 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     values = np.asarray(values)
     indptr = _check_indptr(indptr, values.shape[0])
     n_seg = indptr.size - 1
-    if n_seg == 0:
-        return np.zeros((0,) + values.shape[1:], dtype=values.dtype)
-    if values.shape[0] == 0:
-        return np.zeros((n_seg,) + values.shape[1:], dtype=values.dtype)
+    out_shape = (n_seg,) + values.shape[1:]
+    if out is None:
+        out = np.zeros(out_shape, dtype=values.dtype)
+    else:
+        if out.shape != out_shape or out.dtype != values.dtype:
+            raise ValidationError(
+                f"out must have shape {out_shape} and dtype "
+                f"{values.dtype}, got {out.shape}/{out.dtype}"
+            )
+        out.fill(0)
+    if n_seg == 0 or values.shape[0] == 0:
+        return out
 
     # reduceat over only the non-empty segments: consecutive non-empty
     # starts are exactly those segments' boundaries (empty segments have
     # start == end, so skipping them leaves the spans intact).  This also
     # avoids reduceat's inability to take a start index == len(values).
     nonempty = indptr[:-1] < indptr[1:]
-    out = np.zeros((n_seg,) + values.shape[1:], dtype=values.dtype)
     if nonempty.any():
         out[nonempty] = np.add.reduceat(
             values, indptr[:-1][nonempty], axis=0
@@ -84,11 +100,27 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     return out
 
 
-def segment_count(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
-    """Count ``True`` entries of a boolean ``mask`` within each segment."""
+def segment_count(
+    mask: np.ndarray,
+    indptr: np.ndarray,
+    cast_buffer: np.ndarray = None,
+) -> np.ndarray:
+    """Count ``True`` entries of a boolean ``mask`` within each segment.
+
+    ``cast_buffer`` optionally supplies a reusable int64 array of the
+    mask's shape for the bool→int64 widening (otherwise a fresh array is
+    allocated per call).
+    """
     mask = np.asarray(mask)
     if mask.dtype != np.bool_:
         raise ValidationError("segment_count expects a boolean mask")
+    if (
+        cast_buffer is not None
+        and cast_buffer.shape == mask.shape
+        and cast_buffer.dtype == np.int64
+    ):
+        np.copyto(cast_buffer, mask)
+        return segment_sum(cast_buffer, indptr)
     return segment_sum(mask.astype(np.int64), indptr)
 
 

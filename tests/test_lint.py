@@ -98,6 +98,39 @@ class TestMmapEscape:
         """
         assert rules_of(src, "kernels/fixture.py") == []
 
+    def test_shared_view_escape_fires(self):
+        src = """
+            def structure(arena):
+                col = arena.shared_view("in_col")
+                return col
+        """
+        assert rules_of(src, "parallel/fixture.py") == ["mmap-escape"]
+
+    def test_direct_shared_view_return_fires(self):
+        src = """
+            def structure(arena):
+                return arena.shared_view("in_col")
+        """
+        assert rules_of(src, "parallel/fixture.py") == ["mmap-escape"]
+
+    def test_shared_view_slice_escape_fires(self):
+        src = """
+            def head(arena):
+                col = arena.shared_view("in_col")
+                return col[:10]
+        """
+        assert rules_of(src, "service/fixture.py") == ["mmap-escape"]
+
+    def test_shared_view_copy_is_clean(self):
+        src = """
+            import numpy as np
+
+            def structure(arena):
+                col = arena.shared_view("in_col")
+                return np.array(col, copy=True)
+        """
+        assert rules_of(src, "parallel/fixture.py") == []
+
 
 # ----------------------------------------------------------------------
 # rule 2: lock-discipline

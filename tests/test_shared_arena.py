@@ -1,0 +1,254 @@
+"""Tests for the shared-memory process backend (repro.parallel.shared_arena).
+
+Covers the three acceptance properties of the zero-copy executor:
+
+* **parity** — ``executor="shared"`` produces bitwise-identical window
+  results (and identical rank stores via ``value_sink``) to the thread
+  and pickled-process executors;
+* **zero payload** — task submissions carry only handles, asserted with a
+  pickle-size probe against the published array volume;
+* **lifecycle** — no ``/dev/shm`` segment survives a normal run, a driver
+  exception, or a killed worker.
+"""
+
+import glob
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import ValidationError
+from repro.events import WindowSpec
+from repro.graph.multiwindow import MultiWindowPartition
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.pagerank import PagerankConfig
+from repro.parallel.shared_arena import (
+    ARENA_NAME_PREFIX,
+    SharedArenaRegistry,
+    attach_arena,
+    run_shared_tasks,
+)
+from repro.service import RankStore, RankStoreWriter
+from tests.conftest import random_events
+
+
+def shm_segments():
+    """Live arena segments in /dev/shm (Linux shared-memory mount)."""
+    return glob.glob(f"/dev/shm/{ARENA_NAME_PREFIX}*")
+
+
+@pytest.fixture
+def setup():
+    events = random_events(n_vertices=60, n_events=1200, seed=19)
+    spec = WindowSpec.covering(events, delta=2_500, sw=700)
+    cfg = PagerankConfig(tolerance=1e-11, max_iterations=300)
+    return events, spec, cfg
+
+
+def run_with(events, spec, cfg, executor, kernel="spmv", sink=None,
+             store_values=True):
+    opts = PostmortemOptions(
+        n_multiwindows=3, kernel=kernel, executor=executor, n_threads=2
+    )
+    driver = PostmortemDriver(events, spec, cfg, opts)
+    return driver.run(store_values=store_values, value_sink=sink)
+
+
+# ----------------------------------------------------------------------
+# arena publication round trip
+# ----------------------------------------------------------------------
+class TestArena:
+    def test_round_trip_views(self, setup):
+        events, spec, cfg = setup
+        part = MultiWindowPartition(events, spec, 3)
+        with SharedArenaRegistry() as reg:
+            handles = reg.publish_graphs(part.graphs)
+            for g, h in zip(part.graphs, handles):
+                rebuilt = h.materialize()
+                for key, arr in g.shared_arrays().items():
+                    view = rebuilt.shared_arrays()[key]
+                    assert np.array_equal(arr, view)
+                    assert not view.flags.writeable
+        assert shm_segments() == []
+
+    def test_materialize_is_cached_per_process(self, setup):
+        events, spec, cfg = setup
+        part = MultiWindowPartition(events, spec, 2)
+        with SharedArenaRegistry() as reg:
+            h = reg.publish_graphs(part.graphs)[0]
+            assert h.materialize() is h.materialize()
+
+    def test_unknown_key_rejected(self, setup):
+        events, spec, cfg = setup
+        part = MultiWindowPartition(events, spec, 2)
+        with SharedArenaRegistry() as reg:
+            handle = reg.publish_graphs(part.graphs)[0].arena
+            view = attach_arena(handle)
+            with pytest.raises(ValidationError):
+                view.shared_view("no-such-array")
+
+    def test_close_is_idempotent(self, setup):
+        events, spec, cfg = setup
+        part = MultiWindowPartition(events, spec, 2)
+        reg = SharedArenaRegistry()
+        reg.publish_graphs(part.graphs)
+        reg.close()
+        reg.close()
+        assert shm_segments() == []
+
+
+# ----------------------------------------------------------------------
+# executor parity
+# ----------------------------------------------------------------------
+class TestExecutorParity:
+    @pytest.mark.parametrize("kernel", ["spmv", "spmm"])
+    def test_shared_matches_thread_and_process_bitwise(self, setup, kernel):
+        events, spec, cfg = setup
+        runs = {
+            ex: run_with(events, spec, cfg, ex, kernel)
+            for ex in ("thread", "process", "shared")
+        }
+        ref = runs["thread"]
+        for name in ("process", "shared"):
+            other = runs[name]
+            for wa, wb in zip(ref.windows, other.windows):
+                assert wa.iterations == wb.iterations, (name, wa.window_index)
+                assert np.array_equal(wa.values, wb.values), (
+                    name, wa.window_index,
+                )
+
+    def test_value_sink_runs_in_parent(self, setup):
+        events, spec, cfg = setup
+        parent_pid = os.getpid()
+        seen = {}
+
+        def sink(window, values, meta):
+            assert os.getpid() == parent_pid
+            seen[window] = values.copy()
+
+        run_with(events, spec, cfg, "shared", sink=sink, store_values=False)
+        ref = run_with(events, spec, cfg, "serial")
+        assert sorted(seen) == list(range(spec.n_windows))
+        for w, values in seen.items():
+            assert np.array_equal(values, ref.windows[w].values)
+
+    def test_identical_rank_stores(self, setup, tmp_path):
+        events, spec, cfg = setup
+        paths = {}
+        for ex in ("thread", "shared"):
+            path = tmp_path / f"{ex}.rankstore"
+            with RankStoreWriter(
+                path,
+                n_windows=spec.n_windows,
+                n_vertices=events.n_vertices,
+                spec=spec,
+                dtype="float64",
+            ) as writer:
+                run_with(
+                    events, spec, cfg, ex,
+                    sink=writer.write_window, store_values=False,
+                )
+            paths[ex] = path
+        with RankStore(paths["thread"]) as a, RankStore(paths["shared"]) as b:
+            for w in range(spec.n_windows):
+                assert np.array_equal(a.row(w), b.row(w)), w
+
+    def test_pickled_process_still_rejects_sink(self, setup):
+        events, spec, cfg = setup
+        with pytest.raises(ValidationError, match="shared"):
+            run_with(events, spec, cfg, "process", sink=lambda *a: None)
+
+
+# ----------------------------------------------------------------------
+# the zero-pickling guarantee
+# ----------------------------------------------------------------------
+class TestPayloadProbe:
+    def test_handles_ship_no_array_payload(self, setup):
+        events, spec, cfg = setup
+        run = run_with(events, spec, cfg, "shared")
+        stats = run.metadata["shared_arena"]
+        part = MultiWindowPartition(events, spec, 3)
+        pickled_graphs = sum(
+            len(pickle.dumps(g.shared_arrays(), pickle.HIGHEST_PROTOCOL))
+            for g in part.graphs
+        )
+        # the probe: total submitted task bytes must be a sliver of what
+        # pickling the graphs' arrays would cost, and far below the arena
+        assert stats["n_tasks"] == 3
+        assert stats["payload_bytes"] < pickled_graphs / 10
+        assert stats["payload_bytes"] < stats["arena_bytes"]
+
+    def test_handle_pickle_size_is_flat_in_events(self):
+        sizes = []
+        for n_events in (500, 4000):
+            events = random_events(n_vertices=80, n_events=n_events, seed=5)
+            spec = WindowSpec.covering(events, delta=2_500, sw=900)
+            part = MultiWindowPartition(events, spec, 2)
+            with SharedArenaRegistry() as reg:
+                handles = reg.publish_graphs(part.graphs)
+                sizes.append(
+                    len(pickle.dumps(handles, pickle.HIGHEST_PROTOCOL))
+                )
+        # 8x the events moves the handle size only by metadata jitter
+        # (integer field widths), never by array payload
+        assert abs(sizes[0] - sizes[1]) < 128
+        assert max(sizes) < 4096
+
+
+# ----------------------------------------------------------------------
+# lifecycle: nothing leaks into /dev/shm
+# ----------------------------------------------------------------------
+def _killed_worker(graph, index, sink):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _failing_worker(graph, index, sink):
+    raise RuntimeError("worker boom")
+
+
+class TestLifecycle:
+    def test_normal_run_unlinks(self, setup):
+        events, spec, cfg = setup
+        run_with(events, spec, cfg, "shared")
+        assert shm_segments() == []
+
+    def test_failing_sink_surfaces_and_unlinks(self, setup):
+        events, spec, cfg = setup
+
+        def bad_sink(window, values, meta):
+            raise RuntimeError("sink boom")
+
+        with pytest.raises(RuntimeError, match="sink boom"):
+            run_with(
+                events, spec, cfg, "shared",
+                sink=bad_sink, store_values=False,
+            )
+        assert shm_segments() == []
+
+    def test_failing_worker_unlinks(self, setup):
+        events, spec, cfg = setup
+        part = MultiWindowPartition(events, spec, 3)
+        with pytest.raises(RuntimeError, match="worker boom"):
+            run_shared_tasks(part.graphs, _failing_worker, n_workers=2)
+        assert shm_segments() == []
+
+    def test_killed_worker_unlinks(self, setup):
+        events, spec, cfg = setup
+        part = MultiWindowPartition(events, spec, 3)
+        with pytest.raises(BrokenProcessPool):
+            run_shared_tasks(part.graphs, _killed_worker, n_workers=2)
+        assert shm_segments() == []
+
+    def test_convergence_error_unlinks(self, setup):
+        events, spec, cfg = setup
+        from repro.errors import ConvergenceError
+
+        strict = PagerankConfig(
+            tolerance=1e-16, max_iterations=2, strict=True
+        )
+        with pytest.raises(ConvergenceError):
+            run_with(events, spec, strict, "shared")
+        assert shm_segments() == []
