@@ -30,11 +30,20 @@ GUARDED = {
         (("dispatch", "payload_ratio"), "shared/pickled payload ratio"),
         (("dispatch", "shared_arena_bytes"), "shared dispatch bytes"),
     ],
+    "scaling_workers": [
+        (("offline", "shared_payload_bytes"), "offline shared dispatch bytes"),
+        (("offline", "shared_arena_bytes"), "offline shared arena bytes"),
+    ],
 }
 
 #: per-bench boolean invariants that must hold in the fresh results
 REQUIRED_FLAGS = {
     "shared_memory": [("thread_match_exact",)],
+    "scaling_workers": [
+        ("thread_match_exact",),
+        ("process_match_exact",),
+        ("shared_match_exact",),
+    ],
 }
 
 

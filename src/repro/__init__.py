@@ -70,6 +70,12 @@ from repro.models import (
     PostmortemOptions,
 )
 from repro.streaming import StreamingDriver, StreamingGraph
+from repro.runtime import (
+    DriverContext,
+    ModelDriver,
+    chain_sinks,
+    make_driver,
+)
 from repro.datasets import get_profile, list_profiles, DatasetRegistry
 from repro.analysis import compare_models, ModelTiming, edge_distribution
 from repro.parallel import (
@@ -130,6 +136,11 @@ __all__ = [
     "PostmortemOptions",
     "StreamingDriver",
     "StreamingGraph",
+    # runtime
+    "DriverContext",
+    "ModelDriver",
+    "chain_sinks",
+    "make_driver",
     # datasets
     "get_profile",
     "list_profiles",

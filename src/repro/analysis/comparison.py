@@ -16,10 +16,9 @@ import numpy as np
 
 from repro.events.event_set import TemporalEventSet
 from repro.events.windows import WindowSpec
-from repro.models.offline import OfflineDriver
-from repro.models.postmortem import PostmortemDriver, PostmortemOptions
+from repro.models.postmortem import PostmortemOptions
 from repro.pagerank.config import PagerankConfig
-from repro.streaming.driver import StreamingDriver
+from repro.runtime.registry import MODELS, make_driver
 from repro.utils.timer import Timer
 
 __all__ = ["ModelTiming", "compare_models", "speedup_grid"]
@@ -65,19 +64,23 @@ def compare_models(
     options = options or PostmortemOptions()
     store = check_agreement
 
-    with Timer() as t_off:
-        off = OfflineDriver(events, spec, config).run(store_values=store)
-    with Timer() as t_str:
-        stream = StreamingDriver(events, spec, config).run(store_values=store)
-    with Timer() as t_pm:
-        pm = PostmortemDriver(events, spec, config, options).run(
-            store_values=store
+    # one uniform invocation per model — the runtime registry is the
+    # seam, no bespoke per-model construction
+    runs: Dict[str, object] = {}
+    seconds: Dict[str, float] = {}
+    for model in MODELS:
+        driver = make_driver(
+            model, events, spec, config, postmortem_options=options
         )
+        with Timer() as t:
+            runs[model] = driver.run(store_values=store)
+        seconds[model] = t.elapsed
 
     if check_agreement:
         tol = max(config.tolerance * 1e3, 1e-7)
-        d1 = off.max_difference(pm)
-        d2 = stream.max_difference(pm)
+        pm = runs["postmortem"]
+        d1 = runs["offline"].max_difference(pm)
+        d2 = runs["streaming"].max_difference(pm)
         if d1 > tol or d2 > tol:
             raise AssertionError(
                 f"models disagree: offline-postmortem {d1:.2e}, "
@@ -85,14 +88,12 @@ def compare_models(
             )
 
     return ModelTiming(
-        offline_seconds=t_off.elapsed,
-        streaming_seconds=t_str.elapsed,
-        postmortem_seconds=t_pm.elapsed,
+        offline_seconds=seconds["offline"],
+        streaming_seconds=seconds["streaming"],
+        postmortem_seconds=seconds["postmortem"],
         n_windows=spec.n_windows,
         phase_breakdown={
-            "offline": off.timings.as_dict(),
-            "streaming": stream.timings.as_dict(),
-            "postmortem": pm.timings.as_dict(),
+            model: runs[model].timings.as_dict() for model in MODELS
         },
     )
 

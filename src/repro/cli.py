@@ -17,9 +17,11 @@ Usage (also available as ``python -m repro``)::
 
 * **generate** — write a synthetic dataset profile to ``.npz``/``.tsv``.
 * **info** — event counts, span, temporal shape classification.
-* **run** — postmortem PageRank over the sliding windows; per-window top
-  vertices.  ``--save`` archives the run (``.npz``); ``--store`` streams a
-  servable rank store to disk.
+* **run** — windowed PageRank under ``--model offline|streaming|
+  postmortem`` (default postmortem); per-window top vertices.  ``--save``
+  archives the run (``.npz``); ``--store`` streams a servable rank store
+  to disk; ``--executor`` fans the work out where the model's dependence
+  structure permits.
 * **compare** — measured wall-clock of offline / streaming / postmortem.
 * **sweep** — simulated multicore sweep of level x granularity (the
   Section 6.3.6 tuning aid).
@@ -75,9 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--alpha", type=float, default=0.15)
         p.add_argument("--tolerance", type=float, default=1e-8)
 
-    p_run = sub.add_parser("run", help="postmortem PageRank over windows")
+    p_run = sub.add_parser(
+        "run", help="windowed PageRank under any execution model"
+    )
     p_run.add_argument("events")
     add_window_args(p_run)
+    p_run.add_argument("--model", default="postmortem",
+                       choices=["offline", "streaming", "postmortem"],
+                       help="execution model (paper Section 3.3); every "
+                       "model honours --store/--save, executors where its "
+                       "dependence structure permits")
     p_run.add_argument("--multiwindows", type=int, default=6)
     p_run.add_argument("--kernel", choices=["spmv", "spmm"], default="spmm")
     p_run.add_argument("--vector-length", type=int, default=16)
@@ -85,10 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["uniform", "minimax", "greedy"])
     p_run.add_argument("--executor", default="serial",
                        choices=["serial", "thread", "process", "shared"],
-                       help="how multi-window graphs are solved: in this "
+                       help="how window work is fanned out: in this "
                        "process, by a thread pool, by a pickling process "
                        "pool, or by a shared-memory process pool "
-                       "(zero-copy graphs; works with --store)")
+                       "(zero-copy publication; works with --store). "
+                       "postmortem parallelizes over multi-window graphs, "
+                       "offline over windows; streaming is serial-only")
     p_run.add_argument("--executor-workers", type=int, default=4,
                        help="worker count for the non-serial executors")
     p_run.add_argument("--top", type=int, default=3,
@@ -306,8 +317,9 @@ def cmd_info(args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
-    from repro.models import PostmortemDriver, PostmortemOptions
+    from repro.models import PostmortemOptions
     from repro.reporting import format_table
+    from repro.runtime import DriverContext, make_driver
 
     events = _load_events(args.events)
     spec = _make_spec(events, args)
@@ -319,7 +331,17 @@ def cmd_run(args, out) -> int:
         executor=args.executor,
         n_threads=args.executor_workers,
     )
-    driver = PostmortemDriver(events, spec, _make_config(args), options)
+    context = DriverContext(
+        executor=args.executor, n_workers=args.executor_workers
+    )
+    driver = make_driver(
+        args.model,
+        events,
+        spec,
+        _make_config(args),
+        context=context,
+        postmortem_options=options,
+    )
     if args.store:
         from repro.service import RankStoreWriter
 
@@ -327,6 +349,7 @@ def cmd_run(args, out) -> int:
             args.store,
             n_windows=spec.n_windows,
             n_vertices=events.n_vertices,
+            model=driver.model_name,
             spec=spec,
             dtype=args.store_dtype,
         ) as writer:
@@ -352,7 +375,7 @@ def cmd_run(args, out) -> int:
         format_table(
             ["window", "|V|", "|E|", "iters", f"top-{args.top}"],
             rows,
-            title=f"postmortem PageRank over {spec.n_windows} windows",
+            title=f"{args.model} PageRank over {spec.n_windows} windows",
         ),
         file=out,
     )

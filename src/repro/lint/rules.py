@@ -116,7 +116,7 @@ class MmapEscapeRule(Rule):
         "array without copying; the view dangles (and segfaults) once the "
         "map is closed or the segment unlinked"
     )
-    scopes = ("service/", "utils/", "parallel/")
+    scopes = ("service/", "utils/", "parallel/", "runtime/")
 
     #: call names that materialize a copy and therefore defuse the escape
     SAFE_CALLS = {"array", "ascontiguousarray", "copy", "deepcopy"}

@@ -163,6 +163,6 @@ def postmortem_kernel_run(
     driver = TemporalKernelDriver(events, spec, n_multiwindows)
     inner = view_kernel or adapt_view_kernel(kernel)
     result = driver.run(inner)
-    run.values = result.values()
+    run.values = result.kernel_values()
     run.timings = result.timings
     return run

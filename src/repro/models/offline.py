@@ -2,77 +2,349 @@
 
 For every window, independently: slice the event log, build a fresh simple
 graph (CSR), and run PageRank from a cold uniform start.  There is no state
-shared between windows, which is what makes the model massively parallel —
-and what makes it pay the full graph-construction cost per window, the
-overhead the postmortem representation eliminates.
+shared between windows, which is what the paper means by the offline model
+being "embarrassingly parallel" — and what makes it pay the full
+graph-construction cost per window, the overhead the postmortem
+representation eliminates.
+
+Because windows are fully independent, this is the one model that supports
+every runtime executor:
+
+* ``serial`` — the reference loop;
+* ``thread`` — contiguous window chunks on a
+  :class:`~repro.parallel.executor.ChunkedThreadExecutor` (the kernels
+  release the GIL in NumPy);
+* ``process`` — window chunks in a process pool, each task carrying only
+  its chunk's slice of the event log (``value_sink`` cannot cross the
+  process boundary and is rejected);
+* ``shared`` — the event log's three columns published once into a
+  shared-memory arena (:func:`repro.parallel.shared_arena.run_arena_tasks`),
+  workers attach zero-copy and sinks run in the parent via the drain
+  thread.
+
+Every executor solves each window with the identical code path, so results
+are bitwise-identical to the serial run — the parity tests assert this.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.events.event_set import TemporalEventSet
-from repro.events.windows import WindowSpec
+from repro.events.windows import Window, WindowSpec
 from repro.graph.csr import build_csr_from_edges
 from repro.models.base import RunResult, WindowResult
 from repro.pagerank.config import PagerankConfig
-from repro.streaming.incremental import incremental_pagerank
+from repro.pagerank.incremental import incremental_pagerank
+from repro.parallel.executor import ChunkedThreadExecutor
+from repro.runtime.base import record_run_metadata
+from repro.runtime.context import NULL_SCOPE, DriverContext, RunScope
+from repro.runtime.execution import require_executor
+from repro.runtime.sinks import chain_sinks
 
-__all__ = ["OfflineDriver"]
+__all__ = ["OfflineDriver", "solve_offline_chunk"]
+
+
+def _solve_one_window(
+    events: TemporalEventSet,
+    window: Window,
+    config: PagerankConfig,
+    scope,
+    store_values: bool,
+    sink,
+) -> WindowResult:
+    """Build-and-solve one window; the single code path every executor
+    shares (which is what makes the parallel runs bitwise-identical)."""
+    with scope.phase("build"):
+        src, dst = events.edges_between(window.t_start, window.t_end)
+        graph = build_csr_from_edges(src, dst, events.n_vertices, dedup=True)
+        active = np.zeros(events.n_vertices, dtype=bool)
+        active[src] = True
+        active[dst] = True
+
+    with scope.phase("pagerank"):
+        pr = incremental_pagerank(graph, config, active=active)
+
+    scope.add_work(pr.work)
+    result = WindowResult(
+        window_index=window.index,
+        values=pr.values if store_values else None,
+        iterations=pr.iterations,
+        converged=pr.converged,
+        residual=pr.residual,
+        n_active_vertices=int(active.sum()),
+        n_active_edges=graph.n_edges,
+    )
+    if sink is not None:
+        sink(window.index, pr.values, result)
+    return result
+
+
+def solve_offline_chunk(
+    events_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    n_vertices: int,
+    spec: WindowSpec,
+    lo: int,
+    hi: int,
+    config: PagerankConfig,
+    store_values: bool,
+):
+    """Solve the contiguous window chunk ``[lo, hi)`` from raw event
+    columns.
+
+    Module-level so the ``"process"`` executor can pickle it by reference;
+    the arrays arrive either as a pickled slice of the log (process) or as
+    zero-copy shared-memory views (shared).  Returns
+    ``(window_results, timings, work)`` with vectors included when
+    ``store_values`` (the parent also feeds them to any sink).
+    """
+    src, dst, time = events_arrays
+    events = TemporalEventSet(src, dst, time, n_vertices, sort=False)
+    scope = RunScope()
+    results: List[WindowResult] = []
+    for i in range(lo, hi):
+        results.append(
+            _solve_one_window(
+                events, spec.window(i), config, scope, store_values, None
+            )
+        )
+    return results, scope.timings, scope.work
+
+
+def _arena_offline_worker(
+    view,
+    payload: Tuple[int, int],
+    index: int,
+    sink,
+    spec: WindowSpec,
+    config: PagerankConfig,
+    n_vertices: int,
+    store_values: bool,
+):
+    """Worker for the ``"shared"`` executor: rebuild the event set as
+    zero-copy views of the published columns, solve the chunk, ship each
+    vector through the queue-backed ``sink``."""
+    lo, hi = payload
+    events = TemporalEventSet(
+        view.shared_view("src"),
+        view.shared_view("dst"),
+        view.shared_view("time"),
+        n_vertices,
+        sort=False,
+    )
+    scope = RunScope()
+    results: List[WindowResult] = []
+    for i in range(lo, hi):
+        wr = _solve_one_window(
+            events, spec.window(i), config, scope, store_values, sink
+        )
+        results.append(wr)
+    return results, scope.timings, scope.work
 
 
 class OfflineDriver:
     """Runs Algorithm 1 by rebuilding each window's graph from scratch."""
 
     model_name = "offline"
+    supported_executors = ("serial", "thread", "process", "shared")
 
     def __init__(
         self,
         events: TemporalEventSet,
         spec: WindowSpec,
         config: PagerankConfig = PagerankConfig(),
+        *,
+        context: Optional[DriverContext] = None,
     ) -> None:
         self.events = events
         self.spec = spec
         self.config = config
+        self.context = context if context is not None else DriverContext()
+        require_executor(
+            self.context.executor, self.supported_executors, self.model_name
+        )
 
-    def run(self, store_values: bool = True) -> RunResult:
-        """Execute every window sequentially (the parallel substrate can
-        fan individual windows out — see :mod:`repro.parallel`)."""
+    # ------------------------------------------------------------------
+    def run_window(
+        self, window: Window, scope=NULL_SCOPE, store_values: bool = True
+    ) -> WindowResult:
+        """Build-and-solve one window.
+
+        ``scope`` is a :class:`~repro.runtime.context.RunScope`
+        accumulating phase timings and work counters; the default
+        :data:`~repro.runtime.context.NULL_SCOPE` measures nothing.
+        """
+        return _solve_one_window(
+            self.events, window, self.config, scope, store_values, None
+        )
+
+    def run(
+        self,
+        store_values: bool = True,
+        *,
+        value_sink=None,
+        progress=None,
+    ) -> RunResult:
+        """Solve every window under the context's executor.
+
+        ``value_sink(window_index, values, meta)`` receives each window's
+        global rank vector as it is solved (chained after any context
+        sink); with ``store_values=False`` a run can stream every vector
+        to a rank store while holding only one chunk in memory.
+        """
+        ctx = self.context
+        executor = ctx.executor
+        sink = chain_sinks(ctx.value_sink, value_sink)
+        progress = progress if progress is not None else ctx.progress
+        if sink is not None and executor == "process":
+            raise ValidationError(
+                "value_sink is not supported with executor='process' "
+                "(the callback cannot cross the process boundary); "
+                "use executor='shared', which runs the sink in the parent"
+            )
+
         result = RunResult(model=self.model_name)
-        for window in self.spec:
-            result.windows.append(self.run_window(window, result, store_values))
-        result.metadata["n_windows"] = self.spec.n_windows
+        n = self.spec.n_windows
+        ctx.emit("run.start", model=self.model_name, executor=executor,
+                 n_windows=n)
+
+        if executor == "serial":
+            scope = RunScope.into(result)
+            for window in self.spec:
+                result.windows.append(
+                    _solve_one_window(
+                        self.events, window, self.config, scope,
+                        store_values, sink,
+                    )
+                )
+                ctx.emit("window.done", window=window.index)
+                if progress is not None:
+                    progress(window.index + 1, n)
+        elif executor == "thread":
+            result.windows = self._run_threaded(
+                result, n, store_values, sink, progress
+            )
+        elif executor == "process":
+            result.windows = self._run_process(result, n, store_values)
+        else:  # shared
+            result.windows = self._run_shared(result, n, store_values, sink)
+
+        record_run_metadata(
+            result, executor=executor, n_workers=ctx.n_workers, n_windows=n
+        )
+        ctx.emit("run.done", model=self.model_name, n_windows=n)
         return result
 
-    def run_window(
-        self, window, result: Optional[RunResult] = None, store_values=True
-    ) -> WindowResult:
-        """Build-and-solve one window; timings/work are accumulated into
-        ``result`` when given."""
-        sink = result if result is not None else RunResult(model=self.model_name)
+    # ------------------------------------------------------------------
+    def _run_threaded(
+        self, result: RunResult, n: int, store_values: bool, sink, progress
+    ) -> List[WindowResult]:
+        """Contiguous window chunks on a thread pool; per-chunk scopes are
+        merged after the fan-in so the hot path takes no lock."""
+        ctx = self.context
+        scopes: List[RunScope] = []
+        scopes_lock = threading.Lock()
+        done = [0]
 
-        with sink.timings.phase("build"):
-            src, dst = self.events.edges_between(window.t_start, window.t_end)
-            graph = build_csr_from_edges(
-                src, dst, self.events.n_vertices, dedup=True
-            )
-            active = np.zeros(self.events.n_vertices, dtype=bool)
-            active[src] = True
-            active[dst] = True
+        def solve_chunk(lo: int, hi: int) -> List[WindowResult]:
+            scope = RunScope()
+            out = [
+                _solve_one_window(
+                    self.events, self.spec.window(i), self.config, scope,
+                    store_values, sink,
+                )
+                for i in range(lo, hi)
+            ]
+            with scopes_lock:
+                scopes.append(scope)
+                done[0] += hi - lo
+                completed = done[0]
+            if progress is not None:
+                progress(completed, n)
+            return out
 
-        with sink.timings.phase("pagerank"):
-            pr = incremental_pagerank(graph, self.config, active=active)
+        pool = ChunkedThreadExecutor(n_workers=ctx.n_workers)
+        windows = pool.map_chunks(solve_chunk, n)
+        # per-chunk build/pagerank phases sum CPU time across workers —
+        # the same breakdown the serial run reports
+        for scope in scopes:
+            scope.merge_into(result)
+        return windows
 
-        sink.work.merge(pr.work)
-        return WindowResult(
-            window_index=window.index,
-            values=pr.values if store_values else None,
-            iterations=pr.iterations,
-            converged=pr.converged,
-            residual=pr.residual,
-            n_active_vertices=int(active.sum()),
-            n_active_edges=graph.n_edges,
+    def _run_process(
+        self, result: RunResult, n: int, store_values: bool
+    ) -> List[WindowResult]:
+        """Window chunks in a process pool: each task is shipped only its
+        chunk's slice of the event log (windows outside the slice are
+        untouched, so results stay identical to serial)."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.parallel.partitioners import SIMPLE, chunk_ranges
+
+        ctx = self.context
+        ranges = chunk_ranges(n, 1, SIMPLE, ctx.n_workers)
+        windows: List[WindowResult] = []
+        with ProcessPoolExecutor(max_workers=ctx.n_workers) as pool:
+            futures = []
+            for lo, hi in ranges:
+                t_lo = self.spec.window(lo).t_start
+                t_hi = self.spec.window(hi - 1).t_end
+                chunk = self.events.events_between(t_lo, t_hi)
+                futures.append(
+                    pool.submit(
+                        solve_offline_chunk,
+                        (chunk.src, chunk.dst, chunk.time),
+                        self.events.n_vertices,
+                        self.spec,
+                        lo,
+                        hi,
+                        self.config,
+                        store_values,
+                    )
+                )
+            for fut in futures:
+                wrs, timings, work = fut.result()
+                windows.extend(wrs)
+                result.timings.merge(timings)
+                result.work.merge(work)
+        return windows
+
+    def _run_shared(
+        self, result: RunResult, n: int, store_values: bool, sink
+    ) -> List[WindowResult]:
+        """Publish the event columns once into a shared-memory arena and
+        fan window chunks out over it; sinks run in the parent via the
+        arena's drain thread."""
+        from repro.parallel.partitioners import SIMPLE, chunk_ranges
+        from repro.parallel.shared_arena import run_arena_tasks
+
+        ctx = self.context
+        ranges = chunk_ranges(n, 1, SIMPLE, ctx.n_workers)
+        task_results, stats = run_arena_tasks(
+            {
+                "src": self.events.src,
+                "dst": self.events.dst,
+                "time": self.events.time,
+            },
+            list(ranges),
+            _arena_offline_worker,
+            args=(
+                self.spec,
+                self.config,
+                self.events.n_vertices,
+                store_values,
+            ),
+            n_workers=ctx.n_workers,
+            value_sink=sink,
         )
+        windows: List[WindowResult] = []
+        for wrs, timings, work in task_results:
+            windows.extend(wrs)
+            result.timings.merge(timings)
+            result.work.merge(work)
+        result.metadata["shared_arena"] = stats
+        return windows

@@ -39,6 +39,9 @@ from repro.pagerank.init import full_initialization, partial_initialization
 from repro.pagerank.spmm import pagerank_windows_spmm
 from repro.pagerank.spmv import pagerank_window
 from repro.pagerank.weighted import pagerank_window_weighted
+from repro.runtime.base import record_run_metadata
+from repro.runtime.context import DriverContext
+from repro.runtime.sinks import chain_sinks
 
 __all__ = ["PostmortemOptions", "PostmortemDriver", "solve_multiwindow_graph"]
 
@@ -135,6 +138,7 @@ class PostmortemDriver:
     """Runs Algorithm 1 under the postmortem model."""
 
     model_name = "postmortem"
+    supported_executors = _EXECUTORS
 
     def __init__(
         self,
@@ -142,11 +146,18 @@ class PostmortemDriver:
         spec: WindowSpec,
         config: PagerankConfig = PagerankConfig(),
         options: PostmortemOptions = PostmortemOptions(),
+        *,
+        context: Optional[DriverContext] = None,
     ) -> None:
         self.events = events
         self.spec = spec
         self.config = config
         self.options = options
+        # executor authority stays with PostmortemOptions (the model's
+        # tuning surface); the context contributes sinks and hooks
+        self.context = (
+            context if context is not None else DriverContext()
+        ).with_execution(options.executor, options.n_threads)
         self._partition: Optional[MultiWindowPartition] = None
 
     # ------------------------------------------------------------------
@@ -173,6 +184,8 @@ class PostmortemDriver:
         self,
         store_values: bool = True,
         value_sink=None,
+        *,
+        progress=None,
     ) -> RunResult:
         """Solve every window; ``store_values=False`` keeps only per-window
         summaries (benchmark mode).
@@ -180,28 +193,46 @@ class PostmortemDriver:
         ``value_sink`` is an optional callback ``sink(window_index, values,
         meta)`` invoked with each window's *global* rank vector the moment
         it is solved — e.g. ``RankStoreWriter.write_window`` to stream a
-        servable rank store to disk.  Combined with ``store_values=False``
-        a run persists every vector while holding only one in memory at a
-        time.  The sink may be called concurrently under the ``"thread"``
-        executor (rank-store writers lock internally); the ``"process"``
-        executor cannot ship a callback to its workers — use
-        ``executor="shared"``, whose result shuttle invokes the sink in
-        the parent process.
+        servable rank store to disk (chained after any context-level
+        sink).  Combined with ``store_values=False`` a run persists every
+        vector while holding only one in memory at a time.  The sink may
+        be called concurrently under the ``"thread"`` executor (rank-store
+        writers lock internally); the ``"process"`` executor cannot ship a
+        callback to its workers — use ``executor="shared"``, whose result
+        shuttle invokes the sink in the parent process.
+
+        ``progress(graphs_done, graphs_total)`` reports at multi-window
+        graph granularity — the model's unit of parallel work.
         """
-        if value_sink is not None and self.options.executor == "process":
+        ctx = self.context
+        executor = ctx.executor
+        sink = chain_sinks(ctx.value_sink, value_sink)
+        progress = progress if progress is not None else ctx.progress
+        if sink is not None and executor == "process":
             raise ValidationError(
                 "value_sink is not supported with executor='process' "
                 "(the callback cannot cross the process boundary); "
                 "use executor='shared', which runs the sink in the parent"
             )
         result = RunResult(model=self.model_name)
+        ctx.emit("run.start", model=self.model_name, executor=executor,
+                 n_windows=self.spec.n_windows)
         with result.timings.phase("build"):
             partition = self.partition
+        ctx.emit("build.done", n_multiwindows=len(partition))
 
         task_log: List[TaskRecord] = []
         window_results: Dict[int, WindowResult] = {}
+        n_graphs = len(partition)
+        done = 0
 
-        if self.options.executor == "shared" and len(partition) > 1:
+        def consume(task_result) -> None:
+            wrs, tasks, work = task_result
+            window_results.update(wrs)
+            task_log.extend(tasks)
+            result.work.merge(work)
+
+        if executor == "shared" and n_graphs > 1:
             from repro.parallel.shared_arena import run_shared_tasks
 
             with result.timings.phase("pagerank"):
@@ -214,27 +245,25 @@ class PostmortemDriver:
                         self.events.n_vertices,
                         store_values,
                     ),
-                    n_workers=self.options.n_threads,
-                    value_sink=value_sink,
+                    n_workers=ctx.n_workers,
+                    value_sink=sink,
                 )
-            for wrs, tasks, work in task_results:
-                window_results.update(wrs)
-                task_log.extend(tasks)
-                result.work.merge(work)
+            for task_result in task_results:
+                consume(task_result)
+                done += 1
+                if progress is not None:
+                    progress(done, n_graphs)
             result.metadata["shared_arena"] = stats
-        elif (
-            self.options.executor in ("thread", "process")
-            and len(partition) > 1
-        ):
+        elif executor in ("thread", "process") and n_graphs > 1:
             # one task per multi-window graph: the graph is the coarse
             # parallel unit (its windows chain through partial init)
             pool_cls = (
                 ThreadPoolExecutor
-                if self.options.executor == "thread"
+                if executor == "thread"
                 else ProcessPoolExecutor
             )
             with result.timings.phase("pagerank"):
-                with pool_cls(self.options.n_threads) as pool:
+                with pool_cls(ctx.n_workers) as pool:
                     futures = [
                         pool.submit(
                             solve_multiwindow_graph,
@@ -244,33 +273,39 @@ class PostmortemDriver:
                             self.options,
                             self.events.n_vertices,
                             store_values,
-                            value_sink,
+                            sink,
                         )
                         for i, g in enumerate(partition)
                     ]
                     for fut in futures:
-                        wrs, tasks, work = fut.result()
-                        window_results.update(wrs)
-                        task_log.extend(tasks)
-                        result.work.merge(work)
+                        consume(fut.result())
+                        done += 1
+                        if progress is not None:
+                            progress(done, n_graphs)
         else:
             with result.timings.phase("pagerank"):
                 for i, g in enumerate(partition):
-                    wrs, tasks, work = self._solve_graph(
-                        g, i, store_values, value_sink
-                    )
-                    window_results.update(wrs)
-                    task_log.extend(tasks)
-                    result.work.merge(work)
+                    consume(self._solve_graph(g, i, store_values, sink))
+                    done += 1
+                    ctx.emit("graph.done", multiwindow=i)
+                    if progress is not None:
+                        progress(done, n_graphs)
 
         result.windows = [
             window_results[i] for i in range(self.spec.n_windows)
         ]
-        result.metadata["n_windows"] = self.spec.n_windows
+        record_run_metadata(
+            result,
+            executor=executor,
+            n_workers=ctx.n_workers,
+            n_windows=self.spec.n_windows,
+        )
         result.metadata["n_multiwindows"] = len(partition)
         result.metadata["replication_factor"] = partition.replication_factor
         result.metadata["task_log"] = task_log
         result.metadata["options"] = self.options
+        ctx.emit("run.done", model=self.model_name,
+                 n_windows=self.spec.n_windows)
         return result
 
     # ------------------------------------------------------------------

@@ -11,6 +11,8 @@
   (Section 4.4).
 * :mod:`repro.pagerank.workspace` — reusable kernel scratch buffers shared
   across the windows of one partial-initialization chain.
+* :mod:`repro.pagerank.incremental` — warm-startable power iteration on a
+  simple CSR graph (offline cold start, streaming warm start).
 """
 
 from repro.pagerank.config import PagerankConfig
@@ -25,9 +27,12 @@ from repro.pagerank.spmm import pagerank_windows_spmm
 from repro.pagerank.weighted import pagerank_window_weighted, window_edge_weights
 from repro.pagerank.propagation_blocking import pagerank_window_pb
 from repro.pagerank.workspace import Workspace
+from repro.pagerank.incremental import csr_pull_arrays, incremental_pagerank
 
 __all__ = [
     "Workspace",
+    "incremental_pagerank",
+    "csr_pull_arrays",
     "PagerankConfig",
     "PagerankResult",
     "BatchPagerankResult",

@@ -57,6 +57,7 @@ __all__ = [
     "SharedGraphHandle",
     "attach_arena",
     "run_shared_tasks",
+    "run_arena_tasks",
 ]
 
 _LOG = logging.getLogger("repro.parallel.shared_arena")
@@ -441,6 +442,69 @@ def _run_task(
     return worker(graph, index, sink, *args)
 
 
+def _run_arena_task(
+    handle: ArenaHandle,
+    payload,
+    index: int,
+    worker: Callable,
+    args: Tuple,
+    use_sink: bool,
+):
+    """Module-level task shim for :func:`run_arena_tasks` workers."""
+    view = attach_arena(handle)
+    sink = _worker_sink if use_sink else None
+    return worker(view, payload, index, sink, *args)
+
+
+def _pool_map(
+    task_fn: Callable,
+    payloads: Sequence[Tuple],
+    n_workers: int,
+    ctx,
+    value_sink: Optional[Callable],
+    stats: Dict[str, object],
+):
+    """Run pickled task tuples through a process pool, shuttling sink
+    calls back to the parent.
+
+    The shared core of :func:`run_shared_tasks` and
+    :func:`run_arena_tasks`: sets up the drain thread when a sink is
+    configured, records the pickled-payload-size probe in ``stats``,
+    executes ``task_fn(*payload)`` per payload in submission order, and
+    re-raises the first sink error after the pool winds down.  The caller
+    owns arena publication and reclamation.
+    """
+    stats["payload_bytes"] = sum(
+        len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
+        for p in payloads
+    )
+    stats["n_tasks"] = len(payloads)
+
+    drain: Optional[_SinkDrain] = None
+    initializer = None
+    initargs: Tuple = ()
+    if value_sink is not None:
+        drain = _SinkDrain(value_sink, ctx)
+        drain.start()
+        initializer = _init_worker
+        initargs = (drain.queue,)
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = [pool.submit(task_fn, *p) for p in payloads]
+            results = [f.result() for f in futures]
+    finally:
+        sink_error = drain.finish() if drain is not None else None
+    if sink_error is not None:
+        raise sink_error
+    return results
+
+
 def run_shared_tasks(
     graphs: Sequence[MultiWindowGraph],
     worker: Callable,
@@ -465,7 +529,6 @@ def run_shared_tasks(
         raise ValidationError("n_workers must be > 0")
     ctx = mp_context if mp_context is not None else multiprocessing.get_context()
     registry = SharedArenaRegistry()
-    drain: Optional[_SinkDrain] = None
     stats: Dict[str, object] = {}
     try:
         t0 = time.perf_counter()
@@ -474,35 +537,59 @@ def run_shared_tasks(
         stats["arena_bytes"] = registry.total_bytes
         stats["segments"] = list(registry.segments)
 
-        initializer = None
-        initargs: Tuple = ()
-        if value_sink is not None:
-            drain = _SinkDrain(value_sink, ctx)
-            drain.start()
-            initializer = _init_worker
-            initargs = (drain.queue,)
-
-        payloads = [
+        task_payloads = [
             (h, i, worker, tuple(args), value_sink is not None)
             for i, h in enumerate(handles)
         ]
-        stats["payload_bytes"] = sum(
-            len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
-            for p in payloads
+        results = _pool_map(
+            _run_task, task_payloads, n_workers, ctx, value_sink, stats
         )
-        stats["n_tasks"] = len(payloads)
-
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            mp_context=ctx,
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            futures = [pool.submit(_run_task, *p) for p in payloads]
-            results = [f.result() for f in futures]
     finally:
-        sink_error = drain.finish() if drain is not None else None
         registry.close(unlink=True)
-    if sink_error is not None:
-        raise sink_error
+    return results, stats
+
+
+def run_arena_tasks(
+    arrays: Dict[str, np.ndarray],
+    payloads: Sequence,
+    worker: Callable,
+    args: Tuple = (),
+    n_workers: int = 2,
+    value_sink: Optional[Callable] = None,
+    mp_context=None,
+):
+    """Execute ``worker(view, payload, index, sink, *args)`` per payload
+    in a process pool attached to one published segment of ``arrays``.
+
+    The generic sibling of :func:`run_shared_tasks`: where that function
+    is specialized to multi-window graphs, this one publishes an arbitrary
+    dict of read-only arrays once and fans arbitrary (small, picklable)
+    ``payloads`` out over it — e.g. the offline driver publishes the raw
+    event log's ``src``/``dst``/``time`` columns and ships window-range
+    payloads.  Workers receive the attached :class:`ArenaView` (cached per
+    process) and must copy anything that outlives the task.
+
+    Returns ``(results, stats)`` exactly like :func:`run_shared_tasks`.
+    """
+    if n_workers <= 0:
+        raise ValidationError("n_workers must be > 0")
+    ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+    registry = SharedArenaRegistry()
+    stats: Dict[str, object] = {}
+    try:
+        t0 = time.perf_counter()
+        handle = registry.publish(arrays)
+        stats["publish_seconds"] = time.perf_counter() - t0
+        stats["arena_bytes"] = registry.total_bytes
+        stats["segments"] = list(registry.segments)
+
+        task_payloads = [
+            (handle, p, i, worker, tuple(args), value_sink is not None)
+            for i, p in enumerate(payloads)
+        ]
+        results = _pool_map(
+            _run_arena_task, task_payloads, n_workers, ctx, value_sink, stats
+        )
+    finally:
+        registry.close(unlink=True)
     return results, stats

@@ -1,0 +1,50 @@
+"""Shared execution runtime for the model drivers.
+
+One layer answers, for every execution model, the questions each driver
+used to answer privately:
+
+* **contract** — :class:`~repro.runtime.base.ModelDriver`: uniform
+  ``run(store_values=..., value_sink=..., progress=...)``;
+* **policy** — :class:`~repro.runtime.context.DriverContext`: executor
+  selection, default sinks, progress/trace hooks;
+* **execution** — :mod:`repro.runtime.execution`: the executor taxonomy
+  and the in-process ordered task map (process/shared execution lives in
+  :mod:`repro.parallel`);
+* **output** — :mod:`repro.runtime.sinks`: chained streaming value
+  sinks feeding rank stores and tests;
+* **construction** — :func:`~repro.runtime.registry.make_driver`: model
+  name → driver.
+
+See ``docs/architecture.md`` ("The execution runtime") for the layer
+diagram.
+"""
+
+from repro.runtime.base import ModelDriver, record_run_metadata
+from repro.runtime.context import (
+    DriverContext,
+    NULL_SCOPE,
+    ProgressFn,
+    RunScope,
+    TraceFn,
+)
+from repro.runtime.execution import EXECUTORS, map_tasks, require_executor
+from repro.runtime.registry import MODELS, make_driver
+from repro.runtime.sinks import Sink, chain_sinks, counting_sink
+
+__all__ = [
+    "ModelDriver",
+    "record_run_metadata",
+    "DriverContext",
+    "RunScope",
+    "NULL_SCOPE",
+    "ProgressFn",
+    "TraceFn",
+    "EXECUTORS",
+    "map_tasks",
+    "require_executor",
+    "MODELS",
+    "make_driver",
+    "Sink",
+    "chain_sinks",
+    "counting_sink",
+]

@@ -1,0 +1,92 @@
+"""Executor selection and the generic ordered task map.
+
+The runtime recognises four executors:
+
+``serial``
+    Plain loop in the calling thread.  Always supported; the reference
+    against which the parallel executors must be bitwise-identical.
+``thread``
+    ``ThreadPoolExecutor`` (or :class:`repro.parallel.executor.
+    ChunkedThreadExecutor` for chunked window fan-out).  NumPy kernels
+    release the GIL, so this wins on real workloads with zero pickling.
+``process``
+    ``ProcessPoolExecutor`` with pickled task payloads.  Highest
+    isolation, highest dispatch cost; ``value_sink`` is rejected because
+    a closure cannot cross a process boundary.
+``shared``
+    Process pool over a POSIX shared-memory arena
+    (:mod:`repro.parallel.shared_arena`): ~KB pickled handles instead of
+    array payloads, and a parent-side drain thread that makes
+    ``value_sink`` work under process execution.
+
+Not every model can use every executor — streaming's warm-start chain is
+inherently sequential — so each driver declares ``supported_executors``
+and gates requests through :func:`require_executor`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence, Tuple, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["EXECUTORS", "require_executor", "map_tasks"]
+
+#: every executor the runtime knows about, in increasing dispatch cost
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process", "shared")
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def require_executor(
+    executor: str, supported: Sequence[str], model: str
+) -> str:
+    """Validate ``executor`` against a model's dependence structure.
+
+    Returns the executor unchanged when legal; raises
+    :class:`~repro.errors.ValidationError` naming the model and its legal
+    set otherwise, so the CLI surfaces an actionable message instead of a
+    deep executor-specific failure.
+    """
+    if executor not in EXECUTORS:
+        raise ValidationError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    if executor not in supported:
+        raise ValidationError(
+            f"model {model!r} supports executors {tuple(supported)}, "
+            f"got {executor!r}"
+        )
+    return executor
+
+
+def map_tasks(
+    fn: Callable[[_P], _R],
+    payloads: Iterable[_P],
+    *,
+    executor: str = "serial",
+    n_workers: int = 4,
+) -> Iterator[_R]:
+    """Apply ``fn`` to each payload, yielding results in submission order.
+
+    The in-process half of the runtime's execution surface: ``serial``
+    loops inline and ``thread`` fans out over a pool (``Executor.map``
+    preserves order).  ``process``/``shared`` need picklable module-level
+    workers and arena publication, so drivers route those through
+    :func:`repro.parallel.shared_arena.run_shared_tasks` /
+    ``run_arena_tasks`` instead — passing them here is an error.
+    """
+    if executor == "serial":
+        for payload in payloads:
+            yield fn(payload)
+        return
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            yield from pool.map(fn, payloads)
+        return
+    raise ValidationError(
+        f"map_tasks handles 'serial' and 'thread', got {executor!r}; "
+        "route process/shared execution through repro.parallel"
+    )

@@ -1,0 +1,64 @@
+"""Value-sink multiplexing for the execution runtime.
+
+A *sink* is the runtime's streaming output channel: a callable
+``sink(window_index, values, meta)`` invoked with each window's solved
+vector (global vertex space) the moment it exists, where ``meta`` is the
+window's :class:`~repro.models.base.WindowResult`.  The canonical sink is
+:meth:`repro.service.store.RankStoreWriter.write_window`, which persists a
+servable rank store while the run holds only one vector in memory; tests
+use plain closures.
+
+Sinks compose: a driver's effective sink is the chain of the context-level
+sink (configured once, e.g. by the CLI) and the per-run sink passed to
+``run(value_sink=...)``.  :func:`chain_sinks` builds that chain, dropping
+``None`` links and collapsing a single survivor to itself so the common
+one-sink case adds no indirection.
+
+Sinks may be invoked concurrently by the ``"thread"`` executor and from a
+parent-side drain thread by the ``"shared"`` executor; a sink that mutates
+shared state must lock internally (``RankStoreWriter`` does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["Sink", "chain_sinks", "counting_sink"]
+
+#: the sink contract: ``(window_index, values, meta) -> None``
+Sink = Callable[[int, object, object], None]
+
+
+def chain_sinks(*sinks: Optional[Sink]) -> Optional[Sink]:
+    """Compose sinks left-to-right, ignoring ``None`` entries.
+
+    Returns ``None`` when every argument is ``None`` (no sink configured),
+    the sink itself when exactly one survives, and a fan-out callable
+    otherwise.  The fan-out invokes every link even under concurrency —
+    each link must be individually thread-safe, exactly as a lone sink
+    must be.
+    """
+    chain = tuple(s for s in sinks if s is not None)
+    if not chain:
+        return None
+    if len(chain) == 1:
+        return chain[0]
+
+    def fanout(window_index: int, values, meta) -> None:
+        for sink in chain:
+            sink(window_index, values, meta)
+
+    return fanout
+
+
+def counting_sink(counter: dict) -> Sink:
+    """A diagnostic sink recording call counts per window index.
+
+    ``counter`` maps window index -> number of sink invocations; useful in
+    tests and smoke checks to assert every window was emitted exactly once.
+    """
+
+    def sink(window_index: int, values, meta) -> None:
+        counter[window_index] = counter.get(window_index, 0) + 1
+
+    return sink

@@ -13,7 +13,9 @@ postmortem code").
 
 from repro.streaming.edge_blocks import EdgeBlockAdjacency
 from repro.streaming.stinger import StreamingGraph
-from repro.streaming.incremental import incremental_pagerank
+# re-exported from its new home for compatibility; the solver itself
+# lives in repro.pagerank (streaming depends on pagerank, not the reverse)
+from repro.pagerank.incremental import incremental_pagerank
 from repro.streaming.driver import StreamingDriver
 from repro.streaming.delta import delta_incremental_pagerank
 from repro.streaming.estimators import HeadTailDegreeEstimator, EdgeSampleTriangleCounter

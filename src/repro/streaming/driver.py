@@ -11,17 +11,28 @@ Windows are processed strictly in order.  For each window the driver:
 The phase breakdown (``update`` / ``snapshot`` / ``pagerank``) quantifies
 the streaming model's structural costs that Figure 5 compares against
 offline and postmortem.
+
+The warm-start chain makes window ``i`` depend on window ``i-1``, so the
+model's dependence structure admits only the ``serial`` executor — the
+driver rejects any other :class:`~repro.runtime.context.DriverContext`
+choice at construction.  Sinks and progress work exactly as in the other
+models: with ``value_sink=RankStoreWriter.write_window`` a streaming run
+feeds the serving layer window by window.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
 from repro.events.event_set import TemporalEventSet
 from repro.events.windows import WindowSpec
 from repro.models.base import RunResult, WindowResult
 from repro.pagerank.config import PagerankConfig
-from repro.streaming.incremental import incremental_pagerank
+from repro.pagerank.incremental import incremental_pagerank
+from repro.runtime.base import record_run_metadata
+from repro.runtime.context import DriverContext, RunScope
+from repro.runtime.execution import require_executor
+from repro.runtime.sinks import chain_sinks
 from repro.streaming.stinger import StreamingGraph
 
 __all__ = ["StreamingDriver"]
@@ -31,6 +42,7 @@ class StreamingDriver:
     """Runs Algorithm 1 under the streaming model."""
 
     model_name = "streaming"
+    supported_executors = ("serial",)
 
     def __init__(
         self,
@@ -39,6 +51,8 @@ class StreamingDriver:
         config: PagerankConfig = PagerankConfig(),
         block_size: int = 64,
         engine: str = "warm",
+        *,
+        context: Optional[DriverContext] = None,
     ) -> None:
         if engine not in ("warm", "delta"):
             raise ValueError(
@@ -52,19 +66,37 @@ class StreamingDriver:
         #: residual propagation (the paper's eq. 3, see
         #: :mod:`repro.streaming.delta`)
         self.engine = engine
+        self.context = context if context is not None else DriverContext()
+        require_executor(
+            self.context.executor, self.supported_executors, self.model_name
+        )
 
-    def run(self, store_values: bool = True) -> RunResult:
+    def run(
+        self,
+        store_values: bool = True,
+        *,
+        value_sink=None,
+        progress=None,
+    ) -> RunResult:
+        ctx = self.context
+        sink = chain_sinks(ctx.value_sink, value_sink)
+        progress = progress if progress is not None else ctx.progress
         result = RunResult(model=self.model_name)
+        scope = RunScope.into(result)
+        n = self.spec.n_windows
+        ctx.emit("run.start", model=self.model_name, executor="serial",
+                 n_windows=n)
+
         stream = StreamingGraph(self.events, self.block_size)
         prev_values = None
         prev_active = None
 
         for window in self.spec:
-            with result.timings.phase("update"):
-                summary = stream.advance_to(window)
-            with result.timings.phase("snapshot"):
+            with scope.phase("update"):
+                stream.advance_to(window)
+            with scope.phase("snapshot"):
                 graph, active = stream.snapshot()
-            with result.timings.phase("pagerank"):
+            with scope.phase("pagerank"):
                 if self.engine == "delta" and prev_values is not None:
                     from repro.streaming.delta import (
                         delta_incremental_pagerank,
@@ -81,23 +113,30 @@ class StreamingDriver:
                         prev_values=prev_values,
                         prev_active=prev_active,
                     )
-            result.work.merge(pr.work)
-            result.windows.append(
-                WindowResult(
-                    window_index=window.index,
-                    values=pr.values if store_values else None,
-                    iterations=pr.iterations,
-                    converged=pr.converged,
-                    residual=pr.residual,
-                    n_active_vertices=int(active.sum()),
-                    n_active_edges=graph.n_edges,
-                )
+            scope.add_work(pr.work)
+            window_result = WindowResult(
+                window_index=window.index,
+                values=pr.values if store_values else None,
+                iterations=pr.iterations,
+                converged=pr.converged,
+                residual=pr.residual,
+                n_active_vertices=int(active.sum()),
+                n_active_edges=graph.n_edges,
             )
+            if sink is not None:
+                sink(window.index, pr.values, window_result)
+            result.windows.append(window_result)
+            ctx.emit("window.done", window=window.index)
+            if progress is not None:
+                progress(window.index + 1, n)
             prev_values = pr.values
             prev_active = active
 
-        result.metadata["n_windows"] = self.spec.n_windows
+        record_run_metadata(
+            result, executor="serial", n_workers=1, n_windows=n
+        )
         result.metadata["entries_inserted"] = stream.adjacency.entries_inserted
         result.metadata["entries_expired"] = stream.adjacency.entries_expired
         result.metadata["blocks_allocated"] = stream.adjacency.blocks_allocated
+        ctx.emit("run.done", model=self.model_name, n_windows=n)
         return result

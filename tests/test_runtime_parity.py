@@ -1,0 +1,180 @@
+"""Cross-model parity through the unified runtime (ISSUE satellite).
+
+Every model is driven through the same ``make_driver`` + ``DriverContext``
+seam the CLI uses, and the suite asserts the runtime-level guarantees:
+
+* identical window geometry across offline / streaming / postmortem,
+* rank vectors agree within tolerance across models,
+* ``store_values=True`` and sink-only (``store_values=False``) runs emit
+  identical vectors for every model,
+* offline's parallel executors are bitwise-identical to serial,
+* every model's rank store is queryable by the PR-1 ``QueryEngine``.
+
+The suite runs under ``REPRO_SANITIZE=1`` in CI (see the sanitize job);
+locally the conftest session fixture honors the same variable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.events import WindowSpec
+from repro.pagerank import PagerankConfig
+from repro.runtime import MODELS, DriverContext, make_driver
+from repro.service.engine import QueryEngine
+from repro.service.store import RankStore, RankStoreWriter
+from tests.conftest import random_events
+
+TOL = 1e-7
+
+
+@pytest.fixture(scope="module")
+def setup():
+    events = random_events(n_vertices=60, n_events=1_200, seed=211)
+    spec = WindowSpec.covering(events, delta=2_000, sw=800)
+    cfg = PagerankConfig(tolerance=1e-11, max_iterations=400)
+    return events, spec, cfg
+
+
+@pytest.fixture(scope="module")
+def runs(setup):
+    events, spec, cfg = setup
+    return {
+        model: make_driver(model, events, spec, cfg).run(store_values=True)
+        for model in MODELS
+    }
+
+
+class TestCrossModelParity:
+    def test_identical_window_geometry(self, setup, runs):
+        _, spec, _ = setup
+        for model, run in runs.items():
+            assert run.n_windows == spec.n_windows, model
+            assert [w.window_index for w in run.windows] == list(
+                range(spec.n_windows)
+            ), model
+
+    def test_values_agree_within_tolerance(self, runs):
+        ref = runs["postmortem"]
+        for model in ("offline", "streaming"):
+            assert runs[model].max_difference(ref) < TOL, model
+
+    def test_uniform_runtime_metadata(self, setup, runs):
+        _, spec, _ = setup
+        for model, run in runs.items():
+            assert run.metadata["executor"] == "serial", model
+            assert run.metadata["n_workers"] == 1, model
+            assert run.metadata["n_windows"] == spec.n_windows, model
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_sink_only_matches_stored(self, setup, runs, model):
+        """store_values=False + sink emits exactly the stored vectors."""
+        events, spec, cfg = setup
+        collected = {}
+
+        def sink(w, values, meta):
+            collected[w] = np.array(values, copy=True)
+
+        run = make_driver(model, events, spec, cfg).run(
+            store_values=False, value_sink=sink
+        )
+        assert sorted(collected) == list(range(spec.n_windows))
+        for w in run.windows:
+            assert w.values is None
+        stored = runs[model].values_matrix()
+        emitted = np.stack([collected[i] for i in range(spec.n_windows)])
+        np.testing.assert_array_equal(emitted, stored)
+
+
+class TestOfflineExecutorParity:
+    @pytest.mark.parametrize("executor", ["thread", "process", "shared"])
+    def test_bitwise_identical_to_serial(self, setup, runs, executor):
+        events, spec, cfg = setup
+        ctx = DriverContext(executor=executor, n_workers=3)
+        run = make_driver("offline", events, spec, cfg, context=ctx).run()
+        serial = runs["offline"]
+        assert run.metadata["executor"] == executor
+        assert np.array_equal(run.values_matrix(), serial.values_matrix())
+
+    def test_thread_sink_sees_every_window_once(self, setup, runs):
+        events, spec, cfg = setup
+        counter = {}
+        ctx = DriverContext(executor="thread", n_workers=3)
+        collected = {}
+
+        def sink(w, values, meta):
+            counter[w] = counter.get(w, 0) + 1
+            collected[w] = np.array(values, copy=True)
+
+        make_driver("offline", events, spec, cfg, context=ctx).run(
+            store_values=False, value_sink=sink
+        )
+        assert counter == {i: 1 for i in range(spec.n_windows)}
+        emitted = np.stack([collected[i] for i in range(spec.n_windows)])
+        np.testing.assert_array_equal(emitted, runs["offline"].values_matrix())
+
+
+class TestRankStoreParity:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_store_queryable_per_model(self, setup, runs, model, tmp_path):
+        """`--store` works for every model: sink-only run → QueryEngine."""
+        events, spec, cfg = setup
+        path = tmp_path / f"{model}.rankstore"
+        writer = RankStoreWriter(
+            path,
+            n_windows=spec.n_windows,
+            n_vertices=events.n_vertices,
+            model=model,
+            spec=spec,
+            dtype=np.float64,
+        )
+        ctx = DriverContext(value_sink=writer.write_window)
+        make_driver(model, events, spec, cfg, context=ctx).run(
+            store_values=False
+        )
+        writer.close()
+
+        store = RankStore(path)
+        try:
+            engine = QueryEngine(store)
+            matrix = runs[model].values_matrix()
+            # float64 store round-trips bitwise
+            for w in range(spec.n_windows):
+                np.testing.assert_array_equal(store.row(w), matrix[w])
+            top = engine.top_k(0, k=5)
+            expected = runs[model].window(0).top_vertices(5)
+            assert [v for v, _ in top] == [v for v, _ in expected]
+        finally:
+            store.close()
+
+    def test_offline_thread_store_matches_serial_store(
+        self, setup, runs, tmp_path
+    ):
+        """The acceptance scenario: offline --executor thread --store."""
+        events, spec, cfg = setup
+        path = tmp_path / "offline-thread.rankstore"
+        writer = RankStoreWriter(
+            path,
+            n_windows=spec.n_windows,
+            n_vertices=events.n_vertices,
+            model="offline",
+            spec=spec,
+            dtype=np.float64,
+        )
+        ctx = DriverContext(
+            executor="thread", n_workers=3, value_sink=writer.write_window
+        )
+        make_driver("offline", events, spec, cfg, context=ctx).run(
+            store_values=False
+        )
+        writer.close()
+
+        store = RankStore(path)
+        try:
+            read = np.stack(
+                [np.array(store.row(w)) for w in range(spec.n_windows)]
+            )
+            np.testing.assert_array_equal(
+                read, runs["offline"].values_matrix()
+            )
+        finally:
+            store.close()
