@@ -34,6 +34,15 @@ GUARDED = {
         (("offline", "shared_payload_bytes"), "offline shared dispatch bytes"),
         (("offline", "shared_arena_bytes"), "offline shared arena bytes"),
     ],
+    # traversal/union fractions are pure code facts; the per-iteration
+    # time ratios compare two back-to-back runs on the same machine, so
+    # they are stable where absolute wall-clock is not
+    "edge_compaction": [
+        (("spmv", "traversal_ratio"), "compacted/masked traversed events"),
+        (("spmv", "periter_ratio"), "compacted/masked per-iteration time (spmv)"),
+        (("spmm", "union_fraction"), "packed union fraction of nnz (spmm)"),
+        (("spmm", "periter_ratio"), "compacted/masked per-iteration time (spmm)"),
+    ],
 }
 
 #: per-bench boolean invariants that must hold in the fresh results
@@ -43,6 +52,15 @@ REQUIRED_FLAGS = {
         ("thread_match_exact",),
         ("process_match_exact",),
         ("shared_match_exact",),
+    ],
+    "edge_compaction": [
+        ("spmv", "match_exact"),
+        ("spmv", "speedup_ok"),
+        ("weighted", "match_exact"),
+        ("spmm", "match_exact"),
+        ("spmm", "auto_within_bound"),
+        ("pb", "match_close"),
+        ("auto_within_bound",),
     ],
 }
 

@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "offline over windows; streaming is serial-only")
     p_run.add_argument("--executor-workers", type=int, default=4,
                        help="worker count for the non-serial executors")
+    p_run.add_argument("--edge-path", default="auto",
+                       choices=["auto", "masked", "compacted"],
+                       help="per-window kernel edge traversal: mask the "
+                       "full stored structure, pack the active edges once "
+                       "per window (bitwise-identical), or let the cost "
+                       "model decide per window (default)")
     p_run.add_argument("--top", type=int, default=3,
                        help="top vertices to print per window")
     p_run.add_argument("--every", type=int, default=1,
@@ -253,7 +259,11 @@ def _make_spec(events, args):
 def _make_config(args):
     from repro.pagerank import PagerankConfig
 
-    return PagerankConfig(alpha=args.alpha, tolerance=args.tolerance)
+    return PagerankConfig(
+        alpha=args.alpha,
+        tolerance=args.tolerance,
+        edge_path=getattr(args, "edge_path", "auto"),
+    )
 
 
 def cmd_generate(args, out) -> int:
@@ -332,7 +342,11 @@ def cmd_run(args, out) -> int:
         n_threads=args.executor_workers,
     )
     context = DriverContext(
-        executor=args.executor, n_workers=args.executor_workers
+        executor=args.executor,
+        n_workers=args.executor_workers,
+        # a pinned path travels on the context too, so drivers that clone
+        # or rebuild their config still honour the CLI choice
+        edge_path=None if args.edge_path == "auto" else args.edge_path,
     )
     driver = make_driver(
         args.model,

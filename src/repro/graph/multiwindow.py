@@ -97,7 +97,9 @@ class MultiWindowGraph:
         the Θ(|E_w|) traversal the partitioning buys.
 
         ``workspace`` recycles construction scratch across this graph's
-        partial-initialization chain."""
+        partial-initialization chain, and is remembered by the view so
+        its :meth:`~repro.graph.temporal_csr.WindowView.compact_pull`
+        packs into the same pooled scratch."""
         return self.adjacency.window_view(
             self.local_window(global_index), workspace=workspace
         )
@@ -257,9 +259,13 @@ class MultiWindowPartition:
         """The multi-window graph owning a global window index."""
         return self.graphs[self.owner_of(window_index)]
 
-    def window_view(self, window_index: int) -> WindowView:
-        """Per-window view routed through the owning multi-window graph."""
-        return self.graph_of(window_index).window_view(window_index)
+    def window_view(self, window_index: int, workspace=None) -> WindowView:
+        """Per-window view routed through the owning multi-window graph
+        (``workspace`` forwarded for construction-scratch and
+        compaction-buffer reuse)."""
+        return self.graph_of(window_index).window_view(
+            window_index, workspace=workspace
+        )
 
     @property
     def total_stored_events(self) -> int:

@@ -328,6 +328,8 @@ class WindowView:
         "n_active_vertices",
         "n_active_edges",
         "_inv_out",
+        "_workspace",
+        "_compact_pull",
     )
 
     def __init__(
@@ -338,6 +340,7 @@ class WindowView:
     ) -> None:
         self.adjacency = adjacency
         self.window = window
+        self._workspace = workspace
         ts, te = window.t_start, window.t_end
 
         in_csr, out_csr = adjacency.in_csr, adjacency.out_csr
@@ -357,6 +360,7 @@ class WindowView:
         self.n_active_vertices = int(active.sum())
         self.n_active_edges = int(self.in_dedup.sum())
         self._inv_out: Optional[np.ndarray] = None
+        self._compact_pull = None
 
     @property
     def n_vertices(self) -> int:
@@ -364,13 +368,51 @@ class WindowView:
         return self.n_active_vertices
 
     def inverse_out_degrees(self) -> np.ndarray:
-        """1 / |Γ+(u)| with zeros for dangling/inactive vertices (cached)."""
+        """1 / |Γ+(u)| with zeros for dangling/inactive vertices.
+
+        Without a construction workspace the Θ(n) result is computed once
+        and cached on the view.  With one, it is recomputed into pooled
+        scratch on every call (no per-window allocation inside a
+        partial-init chain) and stays valid until the next
+        ``inverse_out_degrees`` call on *any* view sharing the workspace
+        — kernels consume it within a single solve, which never
+        interleaves with another view's call.
+        """
+        ws = self._workspace
+        if ws is not None:
+            n = self.adjacency.n_vertices
+            inv = ws.zeros("view.inv_out", (n,), np.float64)
+            nz = ws.buffer("view.inv_nz", (n,), np.bool_)
+            np.greater(self.out_degrees, 0, out=nz)
+            inv[nz] = 1.0 / self.out_degrees[nz]
+            return inv
         if self._inv_out is None:
             inv = np.zeros(self.adjacency.n_vertices, dtype=np.float64)
             nz = self.out_degrees > 0
             inv[nz] = 1.0 / self.out_degrees[nz]
             self._inv_out = inv
         return self._inv_out
+
+    def compact_pull(self, workspace=None):
+        """The window's active deduped in-edges packed into a dense
+        ``(indptr_c, col_c)`` pair (:class:`~repro.pagerank.compaction.
+        CompactedPull`), preserving within-row order so iterating over the
+        packed arrays is bitwise-identical to masking the full structure.
+
+        ``workspace`` defaults to the view's construction workspace; with
+        one, the packed arrays are pooled-scratch slices valid for the
+        current solve.  Without one, the result is owned and cached.
+        """
+        # lazy import: the compaction engine lives with the kernels it
+        # feeds, and the graph layer must stay importable without them
+        from repro.pagerank.compaction import compact_pull
+
+        ws = workspace if workspace is not None else self._workspace
+        if ws is not None:
+            return compact_pull(self, workspace=ws)
+        if self._compact_pull is None:
+            self._compact_pull = compact_pull(self)
+        return self._compact_pull
 
     def pull_sources(self) -> Tuple[np.ndarray, np.ndarray]:
         """(dedup mask, source ids) for the pull iteration."""

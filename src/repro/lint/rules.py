@@ -370,7 +370,10 @@ class MissingDtypeRule(Rule):
         "an ndarray allocation in a hot kernel has no explicit dtype=, "
         "so precision and memory traffic drift with the platform default"
     )
-    scopes = ("pagerank/", "kernels/", "graph/temporal_csr")
+    scopes = (
+        "pagerank/", "kernels/", "graph/temporal_csr",
+        "benchmarks/bench_edge_compaction",
+    )
 
     #: allocator -> index of the positional dtype parameter
     ALLOCATORS = {"zeros": 1, "ones": 1, "empty": 1, "full": 2}
@@ -407,7 +410,10 @@ class CsrPythonLoopRule(Rule):
         "a Python-level for loop iterates over a CSR structure array "
         "(O(nnz) interpreter work); use the vectorized segment primitives"
     )
-    scopes = ("kernels/", "pagerank/", "graph/")
+    scopes = (
+        "kernels/", "pagerank/", "graph/",
+        "benchmarks/bench_edge_compaction",
+    )
 
     CSR_NAMES = {
         "indptr", "indices", "col", "cols", "row", "rows", "rowa", "cola",

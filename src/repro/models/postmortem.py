@@ -19,7 +19,7 @@ the documented substitution for the paper's 48-core TBB runs.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -151,13 +151,16 @@ class PostmortemDriver:
     ) -> None:
         self.events = events
         self.spec = spec
-        self.config = config
         self.options = options
         # executor authority stays with PostmortemOptions (the model's
-        # tuning surface); the context contributes sinks and hooks
+        # tuning surface); the context contributes sinks, hooks and the
+        # runtime edge-path override
         self.context = (
             context if context is not None else DriverContext()
         ).with_execution(options.executor, options.n_threads)
+        if self.context.edge_path is not None:
+            config = replace(config, edge_path=self.context.edge_path)
+        self.config = config
         self._partition: Optional[MultiWindowPartition] = None
 
     # ------------------------------------------------------------------
@@ -433,6 +436,10 @@ def solve_multiwindow_graph(
 
     workspace = Workspace()
     views: Dict[int, object] = {}
+    # edge_path="auto" iteration estimate: consecutive windows of a chain
+    # have nearly identical spectra, so the previous solve's iteration
+    # count is the best available predictor for the next one
+    iteration_hint: Optional[int] = None
 
     def view_of(w: int):
         view = views.get(w)
@@ -467,8 +474,10 @@ def solve_multiwindow_graph(
                 else pagerank_window
             )
             pr = solver(
-                batch_views[0], config, x0=x0_cols[0], workspace=workspace
+                batch_views[0], config, x0=x0_cols[0], workspace=workspace,
+                iteration_hint=iteration_hint,
             )
+            iteration_hint = pr.iterations or None
             local_values[batch.windows[0]] = pr.values
             work.merge(pr.work)
             _emit_window(
@@ -499,7 +508,11 @@ def solve_multiwindow_graph(
         else:
             X0 = np.stack(x0_cols, axis=1)
             batch_result = pagerank_windows_spmm(
-                batch_views, config, x0=X0, workspace=workspace
+                batch_views, config, x0=X0, workspace=workspace,
+                iteration_hint=iteration_hint,
+            )
+            iteration_hint = (
+                int(batch_result.iterations_per_window.max()) or None
             )
             work.merge(batch_result.work)
             for j, w in enumerate(batch.windows):

@@ -11,10 +11,21 @@
   (Section 4.4).
 * :mod:`repro.pagerank.workspace` — reusable kernel scratch buffers shared
   across the windows of one partial-initialization chain.
+* :mod:`repro.pagerank.compaction` — per-window active-edge packing (the
+  literal Θ(|E_w|) iteration) and the masked/compacted path resolution.
 * :mod:`repro.pagerank.incremental` — warm-startable power iteration on a
   simple CSR graph (offline cold start, streaming warm start).
 """
 
+from repro.pagerank.compaction import (
+    CompactedPull,
+    CompactedUnion,
+    compact_pull,
+    compact_pull_union,
+    compact_pull_weighted,
+    compact_push,
+    resolve_edge_path,
+)
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.result import PagerankResult, BatchPagerankResult, WorkStats
 from repro.pagerank.reference import (
@@ -46,4 +57,11 @@ __all__ = [
     "pagerank_window_weighted",
     "window_edge_weights",
     "pagerank_window_pb",
+    "CompactedPull",
+    "CompactedUnion",
+    "compact_pull",
+    "compact_pull_weighted",
+    "compact_pull_union",
+    "compact_push",
+    "resolve_edge_path",
 ]

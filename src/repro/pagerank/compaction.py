@@ -1,0 +1,295 @@
+"""Per-window active-edge compaction (the literal Θ(|E_w|) iteration).
+
+The masked kernels traverse **all stored nnz events** of their multi-window
+graph every power iteration and zero out the inactive ones.  The paper's
+complexity claim (Section 4.2, Figure 8) is asymptotic — partitioning
+bounds nnz by the multi-window graph's |E_w| — but within one graph a
+sparse window (small ``delta``, wide partition span: the Figure 9/10
+regimes) still pays the full structure pass per iteration.
+
+Compaction is the classic gather-scatter move from the GAP/STINGER CSR
+lineage: pay one Θ(nnz) pass *per window* to pack the active deduplicated
+in-edges into a dense ``(indptr_c, col_c, rows_c)`` triple, then iterate
+over only the Θ(|E_w|) packed edges.  A boolean compress preserves order,
+so the packed edges keep their **within-row order**; reducing them with
+the sequential :func:`~repro.utils.segments.segment_sum_ordered` then
+performs exactly the same additions in exactly the same order as the
+masked path — the results are bitwise-identical (masked positions
+contribute exact ``0.0``, and adding ``0.0`` to a non-negative
+intermediate is exact in IEEE-754).  Note this identity genuinely needs
+the *sequential* reduction: ``np.add.reduceat`` sums pairwise, so its
+rounding depends on how many masked zeros pad each segment.
+
+Selection between the two paths is the job of
+:func:`repro.parallel.cost_model.choose_edge_path`: compaction amortizes
+over the window's iterations, so it wins unless the window is almost fully
+active or converges almost immediately.  ``PagerankConfig.edge_path``
+pins the decision (``"masked"`` / ``"compacted"``) or delegates it
+(``"auto"``, the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.segments import lengths_to_indptr, segment_count
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.temporal_csr import WindowView
+    from repro.pagerank.config import PagerankConfig
+    from repro.pagerank.workspace import Workspace
+
+__all__ = [
+    "CompactedPull",
+    "CompactedUnion",
+    "compact_pull",
+    "compact_pull_weighted",
+    "compact_pull_union",
+    "compact_push",
+    "resolve_edge_path",
+]
+
+
+@dataclass(frozen=True)
+class CompactedPull:
+    """One window's active in-edges packed into a dense CSR pair.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n_rows + 1,)`` int64 — per-destination ranges into ``col``.
+    col:
+        ``(n_edges,)`` int64 — source vertex per packed edge, preserving
+        the stored within-row order (the bitwise-identity requirement).
+    rows:
+        ``(n_edges,)`` int64 — destination vertex per packed edge (the
+        expansion of ``indptr``), consumed by the kernels' sequential
+        :func:`~repro.utils.segments.segment_sum_ordered` reduction.
+    weights:
+        Optional ``(n_edges,)`` float64 — per-edge multiplicities for the
+        weighted kernel; ``None`` for the unweighted kernels.
+
+    When built against a :class:`~repro.pagerank.workspace.Workspace` the
+    arrays are slices of pooled scratch: valid for the current window's
+    solve, recycled by the chain's next compaction.
+    """
+
+    indptr: np.ndarray
+    col: np.ndarray
+    rows: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    @property
+    def n_edges(self) -> int:
+        return self.col.size
+
+
+@dataclass(frozen=True)
+class CompactedUnion:
+    """The union of k windows' active in-edges, for the SpMM kernel.
+
+    ``active[:, j]`` marks which packed edges belong to window j; an edge
+    is packed iff it is active in *any* of the k windows, so the
+    per-iteration structure pass shrinks from nnz to the union size while
+    each column still masks exactly its own edges.
+    """
+
+    indptr: np.ndarray
+    col: np.ndarray
+    rows: np.ndarray
+    active: np.ndarray  # (n_edges, k) bool
+
+    @property
+    def n_edges(self) -> int:
+        return self.col.size
+
+
+def _packed_indptr(
+    counts: np.ndarray, workspace: Optional["Workspace"], key: str
+) -> np.ndarray:
+    if workspace is None:
+        return lengths_to_indptr(counts)
+    indptr = workspace.buffer(key, (counts.size + 1,), np.int64)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def compact_pull(
+    view: "WindowView", workspace: Optional["Workspace"] = None
+) -> CompactedPull:
+    """Pack ``view``'s active deduped in-edges into ``(indptr_c, col_c,
+    rows_c)``.
+
+    One Θ(nnz) pass (a prefix sum over the already-computed per-row active
+    degrees plus two boolean compresses); every subsequent power iteration
+    then costs Θ(|E_w|) instead of Θ(nnz).
+    """
+    in_csr = view.adjacency.in_csr
+    dedup = view.in_dedup
+    indptr_c = _packed_indptr(view.in_degrees, workspace, "compact.indptr")
+    m = view.n_active_edges
+    if workspace is None:
+        col_c = in_csr.col[dedup]
+        rows_c = in_csr.row_ids()[dedup]
+    else:
+        # nnz-capacity buffers sliced to m: the capacity is constant per
+        # multi-window graph, so the chain reallocates at most once
+        col_c = workspace.buffer("compact.col", (in_csr.nnz,), np.int64)[:m]
+        np.compress(dedup, in_csr.col, out=col_c)
+        rows_c = workspace.buffer(
+            "compact.rows", (in_csr.nnz,), np.int64
+        )[:m]
+        np.compress(dedup, in_csr.row_ids(), out=rows_c)
+    return CompactedPull(indptr=indptr_c, col=col_c, rows=rows_c)
+
+
+def compact_pull_weighted(
+    view: "WindowView",
+    dedup: np.ndarray,
+    weights: np.ndarray,
+    workspace: Optional["Workspace"] = None,
+) -> CompactedPull:
+    """Like :func:`compact_pull`, additionally packing the per-edge
+    multiplicities the weighted kernel derived for this window."""
+    in_csr = view.adjacency.in_csr
+    indptr_c = _packed_indptr(view.in_degrees, workspace, "compact.indptr")
+    m = view.n_active_edges
+    if workspace is None:
+        col_c = in_csr.col[dedup]
+        rows_c = in_csr.row_ids()[dedup]
+        weights_c = weights[dedup]
+    else:
+        nnz = in_csr.nnz
+        col_c = workspace.buffer("compact.col", (nnz,), np.int64)[:m]
+        np.compress(dedup, in_csr.col, out=col_c)
+        rows_c = workspace.buffer("compact.rows", (nnz,), np.int64)[:m]
+        np.compress(dedup, in_csr.row_ids(), out=rows_c)
+        weights_c = workspace.buffer(
+            "compact.weights", (nnz,), np.float64
+        )[:m]
+        np.compress(dedup, weights, out=weights_c)
+    return CompactedPull(
+        indptr=indptr_c, col=col_c, rows=rows_c, weights=weights_c
+    )
+
+
+def compact_pull_union(
+    views: Sequence["WindowView"],
+    workspace: Optional["Workspace"] = None,
+) -> CompactedUnion:
+    """Pack the union of k same-graph windows' active in-edges.
+
+    The SpMM kernel's batched iteration gathers and reduces over the
+    packed union once per iteration; ``active`` re-expresses each window's
+    dedup mask in union positions so per-column masking is preserved
+    (and with it, bitwise identity to the masked batch).
+    """
+    adjacency = views[0].adjacency
+    in_csr = adjacency.in_csr
+    nnz = in_csr.nnz
+    k = len(views)
+    if workspace is None:
+        union = np.zeros(nnz, dtype=np.bool_)
+    else:
+        union = workspace.zeros("compact.union", (nnz,), np.bool_)
+    for v in views:
+        union |= v.in_dedup
+
+    cast = (
+        workspace.buffer("tcsr.cast", (nnz,), np.int64)
+        if workspace is not None
+        else None
+    )
+    counts = segment_count(union, in_csr.indptr, cast_buffer=cast)
+    indptr_u = _packed_indptr(counts, workspace, "compact.indptr")
+    m = int(indptr_u[-1])
+
+    if workspace is None:
+        col_u = in_csr.col[union]
+        rows_u = in_csr.row_ids()[union]
+        active = np.empty((m, k), dtype=np.bool_)
+    else:
+        col_u = workspace.buffer("compact.col", (nnz,), np.int64)[:m]
+        np.compress(union, in_csr.col, out=col_u)
+        rows_u = workspace.buffer("compact.rows", (nnz,), np.int64)[:m]
+        np.compress(union, in_csr.row_ids(), out=rows_u)
+        active = workspace.buffer("compact.active", (nnz, k), np.bool_)[:m]
+    positions = np.flatnonzero(union)
+    for j, v in enumerate(views):
+        active[:, j] = v.in_dedup[positions]
+    return CompactedUnion(
+        indptr=indptr_u, col=col_u, rows=rows_u, active=active
+    )
+
+
+def compact_push(
+    view: "WindowView", workspace: Optional["Workspace"] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack the window's active deduped **out**-edges as ``(src, dst)``.
+
+    The propagation-blocking kernel's edge list — it bins by destination,
+    so it wants the push orientation.  Returned arrays are workspace
+    slices when a workspace is supplied (the PB kernel immediately
+    reorders them into owned, bin-grouped copies).
+    """
+    out_csr = view.adjacency.out_csr
+    ts, te = view.window.t_start, view.window.t_end
+    dedup = out_csr.dedup_mask(ts, te, workspace=workspace)
+    row_ids = out_csr.row_ids()
+    if workspace is None:
+        return row_ids[dedup], out_csr.col[dedup]
+    m = int(np.count_nonzero(dedup))
+    nnz = out_csr.nnz
+    src = workspace.buffer("compact.push_src", (nnz,), np.int64)[:m]
+    dst = workspace.buffer("compact.push_dst", (nnz,), np.int64)[:m]
+    np.compress(dedup, row_ids, out=src)
+    np.compress(dedup, out_csr.col, out=dst)
+    return src, dst
+
+
+def resolve_edge_path(
+    config: "PagerankConfig",
+    nnz: int,
+    n_active_edges: int,
+    n_vertices: int,
+    iteration_hint: Optional[int] = None,
+) -> str:
+    """Turn ``config.edge_path`` into a concrete ``"masked"``/``"compacted"``.
+
+    ``"auto"`` asks the parallel cost model: compaction pays one Θ(nnz)
+    pack to save ``(nnz - |E_w|)`` traversed events per iteration, so the
+    decision needs an iteration estimate — ``iteration_hint`` (typically
+    the previous window of the chain, whose spectrum is nearly identical)
+    when available, otherwise a conservative default capped by the
+    config's iteration budget.
+    """
+    path = config.edge_path
+    if path != "auto":
+        return path
+    # lazy import: repro.parallel pulls in the executor stack; the kernels
+    # must stay importable without it at module-import time
+    from repro.parallel.cost_model import (
+        DEFAULT_EXPECTED_ITERATIONS,
+        choose_edge_path,
+    )
+
+    if iteration_hint is not None and iteration_hint > 0:
+        expected = min(iteration_hint, config.max_iterations)
+    else:
+        expected = min(config.max_iterations, DEFAULT_EXPECTED_ITERATIONS)
+    return choose_edge_path(nnz, n_active_edges, n_vertices, expected)
+
+
+def validate_edge_path(path: str) -> str:
+    """Shared validation for config/CLI surfaces."""
+    if path not in ("auto", "masked", "compacted"):
+        raise ValidationError(
+            f"edge_path must be 'auto', 'masked' or 'compacted', "
+            f"got {path!r}"
+        )
+    return path

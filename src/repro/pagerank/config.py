@@ -25,6 +25,7 @@ from repro.errors import ValidationError
 __all__ = ["PagerankConfig"]
 
 _DANGLING_MODES = ("drop", "uniform")
+_EDGE_PATHS = ("auto", "masked", "compacted")
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,15 @@ class PagerankConfig:
     strict:
         When True, kernels raise :class:`~repro.errors.ConvergenceError`
         instead of returning a non-converged result.
+    edge_path:
+        How kernels traverse the window's edges each iteration:
+        ``"masked"`` streams all stored nnz events and zeroes the inactive
+        ones, ``"compacted"`` packs the active deduped edges once per
+        window (:mod:`repro.pagerank.compaction`) and iterates over only
+        those, and ``"auto"`` (default) picks per window from the
+        activity ratio and expected iteration count via
+        :func:`repro.parallel.cost_model.choose_edge_path`.  All three
+        produce bitwise-identical values.
     """
 
     alpha: float = 0.15
@@ -55,6 +65,7 @@ class PagerankConfig:
     max_iterations: int = 100
     dangling: str = "uniform"
     strict: bool = False
+    edge_path: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.alpha < 1.0):
@@ -71,6 +82,11 @@ class PagerankConfig:
             raise ValidationError(
                 f"dangling must be one of {_DANGLING_MODES}, "
                 f"got {self.dangling!r}"
+            )
+        if self.edge_path not in _EDGE_PATHS:
+            raise ValidationError(
+                f"edge_path must be one of {_EDGE_PATHS}, "
+                f"got {self.edge_path!r}"
             )
 
     @property

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import WindowView
+from repro.pagerank.compaction import compact_push
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
 from repro.pagerank.result import PagerankResult, WorkStats
@@ -47,12 +48,11 @@ class PropagationBlockingKernel:
         self.view = view
         self.workspace = workspace
         adjacency = view.adjacency
-        out_csr = adjacency.out_csr
-        ts, te = view.window.t_start, view.window.t_end
 
-        dedup = out_csr.dedup_mask(ts, te)
-        self.src = out_csr.row_ids()[dedup]
-        self.dst = out_csr.col[dedup]
+        # PB is inherently compacted: it always packs the window's active
+        # out-edges (workspace-backed when one is supplied); the argsort
+        # below then produces owned, bin-grouped copies of the slices
+        self.src, self.dst = compact_push(view, workspace=workspace)
         self.n_vertices = adjacency.n_vertices
 
         self.n_bins = min(n_bins, max(self.n_vertices, 1))
@@ -135,13 +135,16 @@ def pagerank_window_pb(
 
     inv_out = view.inverse_out_degrees()
     active_mask = view.active_vertices_mask
-    dangling = active_mask & (view.out_degrees == 0)
+    # precomputed dangling index set: the boolean-mask formulation
+    # re-scans and copies Θ(n) every iteration
+    dangling_idx = np.flatnonzero(active_mask & (view.out_degrees == 0))
 
     if ws is not None:
         rank0 = ws.buffer("pb.rank0", (n,), np.float64)
         rank1 = ws.buffer("pb.rank1", (n,), np.float64)
         w_buf = ws.buffer("pb.w", (n,), np.float64)
         resid = ws.buffer("pb.resid", (n,), np.float64)
+        dang_buf = ws.buffer("pb.dangling", (dangling_idx.size,), np.float64)
 
     if x0 is None:
         x = full_initialization(view)
@@ -168,8 +171,12 @@ def pagerank_window_pb(
             np.multiply(x, inv_out, out=w_buf)
             y = kernel.iterate(w_buf, out=rank1 if x is rank0 else rank0)
         y *= damping
-        if config.dangling == "uniform":
-            dangling_mass = float(x[dangling].sum())
+        if config.dangling == "uniform" and dangling_idx.size:
+            if ws is None:
+                dangling_mass = float(x[dangling_idx].sum())
+            else:
+                np.take(x, dangling_idx, out=dang_buf)
+                dangling_mass = float(dang_buf.sum())
             if dangling_mass:
                 y[active_mask] += damping * dangling_mass / n_active
         y[active_mask] += teleport

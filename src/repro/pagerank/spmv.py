@@ -5,16 +5,25 @@ One power iteration is a *pull* over the temporal CSR's in-orientation:
     y[v] = alpha/|V_i| + (1 - alpha) * Σ_{active in-edges (u, v)} x[u] / outdeg_i(u)
 
 implemented as fully-vectorized NumPy (per the HPC-Python guides: gather +
-masked multiply + ``reduceat`` segment sum; no Python-level edge loop):
+masked multiply + a sequential segment sum; no Python-level edge loop):
 
-    w       = x * inv_outdeg                     # per-source share
-    contrib = where(dedup_mask, w[colA], 0)      # per-stored-event
-    y       = segment_sum(contrib, rowA)         # per-destination
+    w       = x * inv_outdeg                         # per-source share
+    contrib = where(dedup_mask, w[colA], 0)          # per-stored-event
+    y       = segment_sum_ordered(contrib, rowA)     # per-destination
 
-The kernel traverses the *whole stored structure* (all ``nnz`` events of
-the multi-window graph) each iteration and masks inactive events — exactly
-the Θ(|E_w|) behaviour the paper describes, which is why the number of
-multi-window graphs matters (Figure 8).
+The reduction is :func:`~repro.utils.segments.segment_sum_ordered`
+(strictly left-to-right within each destination), which is what makes the
+two edge paths below bitwise-interchangeable — a pairwise ``reduceat``
+would round differently depending on how many masked zeros pad each row.
+
+The **masked** path traverses the whole stored structure (all ``nnz``
+events of the multi-window graph) each iteration and zeroes inactive
+events.  The **compacted** path (:mod:`repro.pagerank.compaction`) packs
+the active deduped edges once per window and iterates over only the
+Θ(|E_w|) packed arrays — bitwise-identical output, literal per-iteration
+Θ(|E_w|) work.  ``config.edge_path`` selects between them (``"auto"``
+asks the cost model, using the chain's ``iteration_hint`` when the driver
+supplies one).
 """
 
 from __future__ import annotations
@@ -25,10 +34,11 @@ import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import WindowView
+from repro.pagerank.compaction import resolve_edge_path
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
 from repro.pagerank.result import PagerankResult, WorkStats
-from repro.utils.segments import segment_sum
+from repro.utils.segments import segment_sum_ordered
 
 __all__ = ["pagerank_window"]
 
@@ -38,6 +48,7 @@ def pagerank_window(
     config: PagerankConfig = PagerankConfig(),
     x0: Optional[np.ndarray] = None,
     workspace=None,
+    iteration_hint: Optional[int] = None,
 ) -> PagerankResult:
     """Compute PageRank for one window of a temporal adjacency.
 
@@ -47,7 +58,7 @@ def pagerank_window(
         Precomputed :class:`~repro.graph.temporal_csr.WindowView` (activity
         masks, degrees, active vertex set).
     config:
-        Solver parameters.
+        Solver parameters, including ``edge_path`` (see module docstring).
     x0:
         Optional initial vector (e.g. from
         :func:`~repro.pagerank.init.partial_initialization`); defaults to
@@ -59,6 +70,9 @@ def pagerank_window(
         the allocator once instead of per window per iteration.  Results
         are bitwise-identical with and without a workspace; the returned
         values are always a freshly owned array.
+    iteration_hint:
+        Expected iteration count for the ``edge_path="auto"`` decision —
+        drivers pass the chain's previous window count.
 
     Returns
     -------
@@ -76,11 +90,23 @@ def pagerank_window(
 
     in_csr = adjacency.in_csr
     dedup = view.in_dedup
-    col = in_csr.col
     nnz = in_csr.nnz
     inv_out = view.inverse_out_degrees()
     active_mask = view.active_vertices_mask
-    dangling = active_mask & (view.out_degrees == 0)
+    # precomputed dangling index set: the boolean-mask formulation
+    # (`x[dangling].sum()`) re-scans and copies Θ(n) every iteration
+    dangling_idx = np.flatnonzero(active_mask & (view.out_degrees == 0))
+
+    path = resolve_edge_path(
+        config, nnz, view.n_active_edges, n, iteration_hint
+    )
+    if path == "compacted":
+        packed = view.compact_pull(workspace=workspace)
+        it_col, it_rows = packed.col, packed.rows
+        it_nnz = packed.n_edges
+    else:
+        it_col, it_rows = in_csr.col, in_csr.row_ids()
+        it_nnz = nnz
 
     ws = workspace
     if ws is not None:
@@ -89,8 +115,11 @@ def pagerank_window(
         rank0 = ws.buffer("spmv.rank0", (n,), np.float64)
         rank1 = ws.buffer("spmv.rank1", (n,), np.float64)
         w_buf = ws.buffer("spmv.w", (n,), np.float64)
-        contrib = ws.buffer("spmv.contrib", (nnz,), np.float64)
+        contrib = ws.buffer("spmv.contrib", (nnz,), np.float64)[:it_nnz]
         resid = ws.buffer("spmv.resid", (n,), np.float64)
+        dang_buf = ws.buffer(
+            "spmv.dangling", (dangling_idx.size,), np.float64
+        )
 
     if x0 is None:
         x = full_initialization(view)
@@ -114,17 +143,25 @@ def pagerank_window(
     for it in range(1, config.max_iterations + 1):
         if ws is None:
             w = x * inv_out
-            contrib = np.where(dedup, w[col], 0.0)
-            y = segment_sum(contrib, in_csr.indptr)
+            if path == "compacted":
+                contrib = w[it_col]
+            else:
+                contrib = np.where(dedup, w[it_col], 0.0)
+            y = segment_sum_ordered(contrib, it_rows, n)
         else:
             np.multiply(x, inv_out, out=w_buf)
-            np.take(w_buf, col, out=contrib)
-            contrib *= dedup
+            np.take(w_buf, it_col, out=contrib)
+            if path != "compacted":
+                contrib *= dedup
             y = rank1 if x is rank0 else rank0
-            segment_sum(contrib, in_csr.indptr, out=y)
+            segment_sum_ordered(contrib, it_rows, n, out=y)
         y *= damping
-        if config.dangling == "uniform":
-            dangling_mass = float(x[dangling].sum())
+        if config.dangling == "uniform" and dangling_idx.size:
+            if ws is None:
+                dangling_mass = float(x[dangling_idx].sum())
+            else:
+                np.take(x, dangling_idx, out=dang_buf)
+                dangling_mass = float(dang_buf.sum())
             if dangling_mass:
                 y[active_mask] += damping * dangling_mass / n_active
         y[active_mask] += teleport
@@ -138,7 +175,7 @@ def pagerank_window(
             residual = float(resid.sum())
         x = y
         work.iterations += 1
-        work.edge_traversals += in_csr.nnz
+        work.edge_traversals += it_nnz
         work.active_edge_traversals += view.n_active_edges
         work.vertex_ops += n_active
         if residual < config.tolerance:

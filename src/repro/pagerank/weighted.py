@@ -26,10 +26,11 @@ import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import TemporalCSR, WindowView
+from repro.pagerank.compaction import compact_pull_weighted, resolve_edge_path
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
 from repro.pagerank.result import PagerankResult, WorkStats
-from repro.utils.segments import segment_sum
+from repro.utils.segments import segment_sum_ordered
 
 __all__ = ["window_edge_weights", "pagerank_window_weighted"]
 
@@ -62,13 +63,18 @@ def pagerank_window_weighted(
     config: PagerankConfig = PagerankConfig(),
     x0: Optional[np.ndarray] = None,
     workspace=None,
+    iteration_hint: Optional[int] = None,
 ) -> PagerankResult:
     """Multiplicity-weighted PageRank for one window.
 
     Same convergence/dangling semantics as the unweighted kernel; with all
     multiplicities equal to 1 the two kernels coincide exactly (tested).
     ``workspace`` recycles the per-iteration share/contribution/rank
-    scratch; returned values are always freshly owned.
+    scratch; returned values are always freshly owned.  ``config.
+    edge_path="compacted"`` packs the active edges *and* their
+    multiplicities once (:func:`~repro.pagerank.compaction.
+    compact_pull_weighted`) so each iteration streams Θ(|E_w|) —
+    bitwise-identical to the masked path.
     """
     adjacency = view.adjacency
     n = adjacency.n_vertices
@@ -82,6 +88,7 @@ def pagerank_window_weighted(
     in_csr = adjacency.in_csr
     dedup, weights = window_edge_weights(in_csr, ts, te)
     col = in_csr.col
+    nnz = in_csr.nnz
 
     # weighted out-strength per source: sum of its outgoing edge weights
     out_strength = np.zeros(n, dtype=np.float64)
@@ -91,16 +98,32 @@ def pagerank_window_weighted(
     inv_strength[nz] = 1.0 / out_strength[nz]
 
     active_mask = view.active_vertices_mask
-    dangling = active_mask & ~nz
+    dangling_idx = np.flatnonzero(active_mask & ~nz)
+
+    path = resolve_edge_path(
+        config, nnz, view.n_active_edges, n, iteration_hint
+    )
+    if path == "compacted":
+        packed = compact_pull_weighted(
+            view, dedup, weights, workspace=workspace
+        )
+        it_col, it_rows = packed.col, packed.rows
+        it_weights = packed.weights
+        it_nnz = packed.n_edges
+    else:
+        it_col, it_rows, it_weights = col, in_csr.row_ids(), weights
+        it_nnz = nnz
 
     ws = workspace
-    nnz = in_csr.nnz
     if ws is not None:
         rank0 = ws.buffer("wspmv.rank0", (n,), np.float64)
         rank1 = ws.buffer("wspmv.rank1", (n,), np.float64)
         w_buf = ws.buffer("wspmv.w", (n,), np.float64)
-        contrib_buf = ws.buffer("wspmv.contrib", (nnz,), np.float64)
+        contrib_buf = ws.buffer("wspmv.contrib", (nnz,), np.float64)[:it_nnz]
         resid = ws.buffer("wspmv.resid", (n,), np.float64)
+        dang_buf = ws.buffer(
+            "wspmv.dangling", (dangling_idx.size,), np.float64
+        )
 
     if x0 is None:
         x = full_initialization(view)
@@ -122,18 +145,26 @@ def pagerank_window_weighted(
     for it in range(1, config.max_iterations + 1):
         if ws is None:
             w = x * inv_strength
-            contrib = weights * np.where(dedup, w[col], 0.0)
-            y = segment_sum(contrib, in_csr.indptr)
+            if path == "compacted":
+                contrib = it_weights * w[it_col]
+            else:
+                contrib = it_weights * np.where(dedup, w[it_col], 0.0)
+            y = segment_sum_ordered(contrib, it_rows, n)
         else:
             np.multiply(x, inv_strength, out=w_buf)
-            np.take(w_buf, col, out=contrib_buf)
-            contrib_buf *= dedup
-            contrib_buf *= weights
+            np.take(w_buf, it_col, out=contrib_buf)
+            if path != "compacted":
+                contrib_buf *= dedup
+            contrib_buf *= it_weights
             y = rank1 if x is rank0 else rank0
-            segment_sum(contrib_buf, in_csr.indptr, out=y)
+            segment_sum_ordered(contrib_buf, it_rows, n, out=y)
         y *= damping
-        if config.dangling == "uniform":
-            dangling_mass = float(x[dangling].sum())
+        if config.dangling == "uniform" and dangling_idx.size:
+            if ws is None:
+                dangling_mass = float(x[dangling_idx].sum())
+            else:
+                np.take(x, dangling_idx, out=dang_buf)
+                dangling_mass = float(dang_buf.sum())
             if dangling_mass:
                 y[active_mask] += damping * dangling_mass / n_active
         y[active_mask] += teleport
@@ -147,7 +178,7 @@ def pagerank_window_weighted(
             residual = float(resid.sum())
         x = y
         work.iterations += 1
-        work.edge_traversals += in_csr.nnz
+        work.edge_traversals += it_nnz
         work.active_edge_traversals += view.n_active_edges
         work.vertex_ops += n_active
         if residual < config.tolerance:

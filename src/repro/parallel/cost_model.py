@@ -32,11 +32,29 @@ import numpy as np
 
 from repro.errors import ValidationError
 
-__all__ = ["CostModel", "calibrate_cost_model", "default_cost_model"]
+__all__ = [
+    "CostModel",
+    "calibrate_cost_model",
+    "choose_edge_path",
+    "default_cost_model",
+    "DEFAULT_EXPECTED_ITERATIONS",
+]
 
 #: fraction of the per-stored-event cost charged per active edge per SpMM
 #: column (the register-streamed part of the work).
 SPMM_COLUMN_DISCOUNT = 0.5
+
+#: one-time active-edge compaction pass, relative to the per-iteration
+#: per-stored-event cost: a boolean compress + prefix sum streams the
+#: structure about twice (read mask + write packed arrays), so the pack
+#: costs roughly two masked iterations' worth of per-event work.
+PACK_COST_RATIO = 2.0
+
+#: iteration estimate used by the ``edge_path="auto"`` policy when the
+#: caller has no history (first window of a chain): typical converged
+#: counts at tolerance 1e-8 land in the 15-40 range, so 20 is
+#: conservative without being timid.
+DEFAULT_EXPECTED_ITERATIONS = 20
 
 
 @dataclass(frozen=True)
@@ -48,9 +66,12 @@ class CostModel:
     c_active: float = 0.5e-8
     c_task: float = 7.5e-7
     c_region: float = 3.0e-6
+    c_pack: float = PACK_COST_RATIO * 1.0e-8
 
     def __post_init__(self) -> None:
-        for name in ("c_edge", "c_vertex", "c_active", "c_task", "c_region"):
+        for name in (
+            "c_edge", "c_vertex", "c_active", "c_task", "c_region", "c_pack"
+        ):
             if getattr(self, name) < 0:
                 raise ValidationError(f"{name} must be >= 0")
 
@@ -100,6 +121,37 @@ class CostModel:
         )
         return iterations * per_iter
 
+    # ------------------------------------------------------------------
+    # active-edge compaction (repro.pagerank.compaction)
+    # ------------------------------------------------------------------
+    def pack_cost(self, nnz: int) -> float:
+        """The one-time per-window compaction pass over ``nnz`` events."""
+        return self.c_pack * nnz
+
+    def choose_edge_path(
+        self,
+        nnz: int,
+        n_active_edges: int,
+        n_vertices: int,
+        expected_iterations: int,
+    ) -> str:
+        """``"masked"`` or ``"compacted"``: whichever total is cheaper.
+
+        Masked pays ``c_edge * nnz`` every iteration; compacted pays the
+        pack once, then ``c_edge * |E_w|`` per iteration.  Compaction wins
+        iff ``iters * (nnz - |E_w|) * c_edge > c_pack * nnz`` — i.e. the
+        activity ratio is low enough, for long enough, to amortize the
+        pack (the docs/tuning.md crossover).
+        """
+        if nnz <= 0 or n_active_edges >= nnz:
+            return "masked"
+        iters = max(int(expected_iterations), 1)
+        masked = iters * self.spmv_iteration_cost(nnz, n_vertices)
+        compacted = self.pack_cost(nnz) + iters * self.spmv_iteration_cost(
+            n_active_edges, n_vertices
+        )
+        return "compacted" if compacted < masked else "masked"
+
     def with_overrides(self, **kwargs) -> "CostModel":
         return replace(self, **kwargs)
 
@@ -109,6 +161,30 @@ def default_cost_model() -> CostModel:
     NumPy kernels on a modern x86 core; use :func:`calibrate_cost_model`
     for machine-accurate magnitudes."""
     return CostModel()
+
+
+#: module-level model backing the stateless :func:`choose_edge_path`;
+#: deterministic so the ``"auto"`` decision never varies run to run
+_DEFAULT_MODEL = CostModel()
+
+
+def choose_edge_path(
+    nnz: int,
+    n_active_edges: int,
+    n_vertices: int,
+    expected_iterations: int,
+    model: CostModel = None,
+) -> str:
+    """Stateless entry point for the kernels' ``edge_path="auto"`` policy.
+
+    Uses the deterministic default model unless a calibrated one is
+    supplied: the decision depends only on *ratios* of same-unit costs,
+    which the calibration barely moves.
+    """
+    model = model if model is not None else _DEFAULT_MODEL
+    return model.choose_edge_path(
+        nnz, n_active_edges, n_vertices, expected_iterations
+    )
 
 
 def calibrate_cost_model(
@@ -179,4 +255,5 @@ def calibrate_cost_model(
         c_active=SPMM_COLUMN_DISCOUNT * c_edge,
         c_task=c_task,
         c_region=c_task * 4,
+        c_pack=PACK_COST_RATIO * c_edge,
     )

@@ -129,6 +129,12 @@ class DriverContext:
         Default progress callback when ``run(progress=...)`` is omitted.
     trace:
         Phase-boundary hook; see :meth:`emit`.
+    edge_path:
+        Optional runtime override for
+        :attr:`repro.pagerank.config.PagerankConfig.edge_path`
+        (``"auto"``/``"masked"``/``"compacted"``).  ``None`` defers to the
+        config — drivers apply the override by replacing their config's
+        field, so kernels never consult the context directly.
     """
 
     executor: str = "serial"
@@ -136,6 +142,7 @@ class DriverContext:
     value_sink: Optional[Sink] = None
     progress: Optional[ProgressFn] = None
     trace: Optional[TraceFn] = None
+    edge_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.errors import ValidationError
@@ -147,6 +154,10 @@ class DriverContext:
             )
         if self.n_workers <= 0:
             raise ValidationError("n_workers must be > 0")
+        if self.edge_path is not None:
+            from repro.pagerank.compaction import validate_edge_path
+
+            validate_edge_path(self.edge_path)
 
     # ------------------------------------------------------------------
     def with_execution(self, executor: str, n_workers: int) -> "DriverContext":

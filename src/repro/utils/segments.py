@@ -21,6 +21,7 @@ from repro.errors import ValidationError
 
 __all__ = [
     "segment_sum",
+    "segment_sum_ordered",
     "segment_count",
     "segment_max",
     "segment_min",
@@ -97,6 +98,67 @@ def segment_sum(
         out[nonempty] = np.add.reduceat(
             values, indptr[:-1][nonempty], axis=0
         )
+    return out
+
+
+def segment_sum_ordered(
+    values: np.ndarray,
+    row_ids: np.ndarray,
+    n_rows: int,
+    out: np.ndarray = None,
+    scratch: np.ndarray = None,
+) -> np.ndarray:
+    """Left-to-right sequential segment sum keyed by per-entry row ids.
+
+    :func:`segment_sum` (``np.add.reduceat``) is the fastest reduction but
+    its floating-point rounding depends on each segment's *length*: NumPy's
+    add loop sums pairwise, so the reduction tree — and the low bits of the
+    result — change when exact-zero entries are inserted or removed.
+    ``np.bincount`` accumulates strictly sequentially in array order, which
+    makes this variant **zero-insertion invariant**: dropping entries whose
+    value is exactly ``0.0`` cannot change the result bitwise (``x + 0.0``
+    is exact for every non-negative ``x``).  The PageRank kernels reduce
+    with it so their masked and compacted edge paths are bitwise-identical.
+
+    Parameters
+    ----------
+    values:
+        ``(nnz,)`` or ``(nnz, k)`` float contributions (columns reduced
+        independently).
+    row_ids:
+        ``(nnz,)`` non-negative destination row per entry (need not be
+        sorted; order only matters *within* a row).
+    n_rows:
+        Number of output rows.
+    out:
+        Optional ``(n_rows,)`` / ``(n_rows, k)`` float64 result buffer,
+        fully overwritten.  ``np.bincount`` has no ``out=`` of its own, so
+        its internal Θ(n_rows) allocation per call remains either way.
+    scratch:
+        Optional ``(nnz,)`` float64 buffer for the 2-D case: each strided
+        column is staged through it so ``bincount`` reads contiguously.
+    """
+    values = np.asarray(values)
+    if values.shape[0] != row_ids.shape[0]:
+        raise ValidationError(
+            f"values and row_ids must agree on nnz, got "
+            f"{values.shape[0]} != {row_ids.shape[0]}"
+        )
+    if values.ndim == 1:
+        y = np.bincount(row_ids, weights=values, minlength=n_rows)
+        if out is None:
+            return y
+        np.copyto(out, y)
+        return out
+    k = values.shape[1]
+    if out is None:
+        out = np.empty((n_rows, k), dtype=np.float64)
+    for j in range(k):
+        col = values[:, j]
+        if scratch is not None:
+            np.copyto(scratch, col)
+            col = scratch
+        out[:, j] = np.bincount(row_ids, weights=col, minlength=n_rows)
     return out
 
 

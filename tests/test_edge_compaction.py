@@ -1,0 +1,349 @@
+"""Active-edge compaction: structure correctness, bitwise parity of the
+masked and compacted kernel paths, the adaptive cost-model decision, and
+the driver/CLI threading of ``edge_path``."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.events import WindowSpec
+from repro.graph import MultiWindowPartition, TemporalAdjacency
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.pagerank import (
+    PagerankConfig,
+    Workspace,
+    compact_pull,
+    compact_pull_union,
+    compact_push,
+    pagerank_window,
+    pagerank_window_pb,
+    pagerank_window_weighted,
+    pagerank_windows_spmm,
+    resolve_edge_path,
+)
+from repro.pagerank.compaction import validate_edge_path
+from repro.parallel.cost_model import (
+    DEFAULT_EXPECTED_ITERATIONS,
+    CostModel,
+    choose_edge_path,
+)
+from repro.runtime.context import DriverContext
+from tests.conftest import random_events
+
+CFG = PagerankConfig(tolerance=1e-12, max_iterations=300)
+
+
+def make_view(seed=0, n_vertices=40, n_events=400, delta=3_000, sw=1_000,
+              window=0):
+    events = random_events(
+        n_vertices=n_vertices, n_events=n_events, seed=seed
+    )
+    adj = TemporalAdjacency.from_events(events)
+    spec = WindowSpec.covering(events, delta=delta, sw=sw)
+    return adj.window_view(spec.window(window))
+
+
+# ---------------------------------------------------------------------------
+# packed-structure correctness
+# ---------------------------------------------------------------------------
+class TestCompactStructure:
+    def test_matches_boolean_compress(self):
+        view = make_view(seed=7)
+        in_csr = view.adjacency.in_csr
+        packed = compact_pull(view)
+        assert packed.n_edges == view.n_active_edges
+        assert np.array_equal(packed.col, in_csr.col[view.in_dedup])
+        # per-row ranges reproduce the active in-degrees
+        lengths = np.diff(packed.indptr)
+        assert np.array_equal(lengths, view.in_degrees)
+
+    def test_workspace_and_owned_paths_agree(self):
+        view_owned = make_view(seed=11)
+        ws = Workspace()
+        events = random_events(seed=11)
+        adj = TemporalAdjacency.from_events(events)
+        spec = WindowSpec.covering(events, delta=3_000, sw=1_000)
+        view_ws = adj.window_view(spec.window(0), workspace=ws)
+        a = view_owned.compact_pull()
+        b = view_ws.compact_pull()
+        assert np.array_equal(a.col, b.col)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_owned_result_is_cached(self):
+        view = make_view(seed=3)
+        assert view.compact_pull() is view.compact_pull()
+
+    def test_empty_window(self):
+        view = make_view(seed=5, window=0, delta=1, sw=1)
+        # shrink the window until nothing is active (t range below min t)
+        events = random_events(seed=5)
+        adj = TemporalAdjacency.from_events(events)
+        from repro.events import Window
+
+        view = adj.window_view(Window(0, -10, -5))
+        packed = compact_pull(view)
+        assert packed.n_edges == 0
+        assert packed.indptr[-1] == 0
+
+    def test_union_covers_every_window(self):
+        events = random_events(seed=13)
+        adj = TemporalAdjacency.from_events(events)
+        spec = WindowSpec.covering(events, delta=3_000, sw=1_000)
+        views = [adj.window_view(spec.window(i)) for i in range(3)]
+        packed = compact_pull_union(views)
+        union = np.zeros(adj.nnz, dtype=np.bool_)
+        for v in views:
+            union |= v.in_dedup
+        assert packed.n_edges == int(union.sum())
+        assert np.array_equal(packed.col, adj.in_csr.col[union])
+        positions = np.flatnonzero(union)
+        for j, v in enumerate(views):
+            assert np.array_equal(packed.active[:, j], v.in_dedup[positions])
+
+    def test_push_orientation(self):
+        view = make_view(seed=17)
+        out_csr = view.adjacency.out_csr
+        ts, te = view.window.t_start, view.window.t_end
+        dedup = out_csr.dedup_mask(ts, te)
+        src, dst = compact_push(view)
+        assert np.array_equal(src, out_csr.row_ids()[dedup])
+        assert np.array_equal(dst, out_csr.col[dedup])
+        ws_src, ws_dst = compact_push(view, workspace=Workspace())
+        assert np.array_equal(ws_src, src)
+        assert np.array_equal(ws_dst, dst)
+
+
+# ---------------------------------------------------------------------------
+# bitwise parity: masked vs compacted vs auto, all four kernels
+# ---------------------------------------------------------------------------
+def _views_regimes():
+    """(name, view) pairs covering empty, sparse, and fully-active
+    windows, plus a dangling-heavy one."""
+    from repro.events import TemporalEventSet, Window
+
+    regimes = []
+    # sparse: one window of a long event stream
+    regimes.append(("sparse", make_view(seed=23)))
+    # fully active: window spans all of time
+    events = random_events(seed=29)
+    adj = TemporalAdjacency.from_events(events)
+    regimes.append(("full", adj.window_view(Window(0, 0, 10_000))))
+    # empty
+    regimes.append(("empty", adj.window_view(Window(0, -10, -5))))
+    # dangling-heavy: a star where leaves never point back
+    src = [0] * 12 + [1, 2, 3]
+    dst = list(range(1, 13)) + [13, 14, 15]
+    t = list(range(15))
+    ev = TemporalEventSet(src, dst, t, n_vertices=16)
+    adj2 = TemporalAdjacency.from_events(ev)
+    regimes.append(("dangling", adj2.window_view(Window(0, 0, 20))))
+    return regimes
+
+
+@pytest.mark.parametrize("use_workspace", [False, True], ids=["owned", "ws"])
+@pytest.mark.parametrize(
+    "name,view", _views_regimes(), ids=[n for n, _ in _views_regimes()]
+)
+class TestBitwiseParity:
+    def _solve(self, kernel, view, path, use_workspace, **kw):
+        ws = Workspace() if use_workspace else None
+        return kernel(
+            view, replace(CFG, edge_path=path), workspace=ws, **kw
+        )
+
+    def test_spmv(self, name, view, use_workspace):
+        base = self._solve(pagerank_window, view, "masked", use_workspace)
+        for path in ("compacted", "auto"):
+            r = self._solve(pagerank_window, view, path, use_workspace)
+            assert np.array_equal(r.values, base.values)
+            assert r.iterations == base.iterations
+
+    def test_weighted(self, name, view, use_workspace):
+        base = self._solve(
+            pagerank_window_weighted, view, "masked", use_workspace
+        )
+        for path in ("compacted", "auto"):
+            r = self._solve(
+                pagerank_window_weighted, view, path, use_workspace
+            )
+            assert np.array_equal(r.values, base.values)
+            assert r.iterations == base.iterations
+
+    def test_pb_matches_spmv_all_paths(self, name, view, use_workspace):
+        """PB is inherently compacted; it must keep matching the pull
+        kernel whichever path the pull kernel takes."""
+        ws = Workspace() if use_workspace else None
+        pb = pagerank_window_pb(view, CFG, workspace=ws)
+        for path in ("masked", "compacted"):
+            r = self._solve(pagerank_window, view, path, use_workspace)
+            assert np.allclose(pb.values, r.values, atol=1e-12)
+
+    def test_spmm(self, name, view, use_workspace):
+        views = [view] * 3
+        ws0 = Workspace() if use_workspace else None
+        base = pagerank_windows_spmm(
+            views, replace(CFG, edge_path="masked"), workspace=ws0
+        )
+        for path in ("compacted", "auto"):
+            ws = Workspace() if use_workspace else None
+            r = pagerank_windows_spmm(
+                views, replace(CFG, edge_path=path), workspace=ws
+            )
+            assert np.array_equal(r.values, base.values)
+            assert np.array_equal(
+                r.iterations_per_window, base.iterations_per_window
+            )
+
+
+def test_spmm_distinct_windows_parity():
+    events = random_events(seed=31)
+    adj = TemporalAdjacency.from_events(events)
+    spec = WindowSpec.covering(events, delta=3_000, sw=1_000)
+    views = [adj.window_view(spec.window(i)) for i in range(4)]
+    base = pagerank_windows_spmm(views, replace(CFG, edge_path="masked"))
+    comp = pagerank_windows_spmm(views, replace(CFG, edge_path="compacted"))
+    assert np.array_equal(comp.values, base.values)
+
+
+# ---------------------------------------------------------------------------
+# adaptive selection
+# ---------------------------------------------------------------------------
+class TestEdgePathSelection:
+    def test_sparse_long_run_compacts(self):
+        # 5% activity over many iterations: packing obviously amortizes
+        assert choose_edge_path(10_000, 500, 100, 50) == "compacted"
+
+    def test_fully_active_stays_masked(self):
+        assert choose_edge_path(10_000, 10_000, 100, 50) == "masked"
+
+    def test_single_iteration_stays_masked(self):
+        # one iteration cannot repay a pack priced at ~2 edge-traversals
+        assert choose_edge_path(10_000, 9_000, 100, 1) == "masked"
+
+    def test_empty_structure_masked(self):
+        assert choose_edge_path(0, 0, 100, 50) == "masked"
+
+    def test_crossover_moves_with_pack_cost(self):
+        cheap = CostModel(c_pack=1e-12)
+        dear = CostModel(c_pack=1.0)
+        args = (10_000, 9_999, 100, 2)
+        assert cheap.choose_edge_path(*args) == "compacted"
+        assert dear.choose_edge_path(*args) == "masked"
+
+    def test_resolve_pinned_paths_bypass_model(self):
+        for path in ("masked", "compacted"):
+            cfg = PagerankConfig(edge_path=path)
+            assert resolve_edge_path(cfg, 100, 1, 10) == path
+
+    def test_resolve_auto_uses_hint(self):
+        cfg = PagerankConfig(edge_path="auto", max_iterations=500)
+        # hint=1 -> never repays; large hint -> compacts
+        assert resolve_edge_path(cfg, 10_000, 500, 100, 1) == "masked"
+        assert (
+            resolve_edge_path(cfg, 10_000, 500, 100, 100) == "compacted"
+        )
+
+    def test_resolve_auto_caps_hint_by_budget(self):
+        cfg = PagerankConfig(edge_path="auto", max_iterations=1)
+        assert resolve_edge_path(cfg, 10_000, 500, 100, 400) == "masked"
+
+    def test_default_expected_iterations_positive(self):
+        assert DEFAULT_EXPECTED_ITERATIONS > 0
+
+    def test_validate_edge_path(self):
+        assert validate_edge_path("auto") == "auto"
+        with pytest.raises(ValidationError):
+            validate_edge_path("fastest")
+
+    def test_config_rejects_bad_edge_path(self):
+        with pytest.raises(ValidationError):
+            PagerankConfig(edge_path="fastest")
+
+
+# ---------------------------------------------------------------------------
+# driver / context / CLI threading
+# ---------------------------------------------------------------------------
+class TestDriverThreading:
+    def _run(self, edge_path, kernel="spmv", context=None):
+        events = random_events(seed=37, n_events=300)
+        spec = WindowSpec.covering(events, delta=3_000, sw=1_500)
+        cfg = replace(CFG, edge_path=edge_path)
+        driver = PostmortemDriver(
+            events, spec, cfg,
+            PostmortemOptions(n_multiwindows=2, kernel=kernel),
+            context=context,
+        )
+        return driver.run()
+
+    @pytest.mark.parametrize("kernel", ["spmv", "spmm"])
+    def test_driver_paths_agree(self, kernel):
+        runs = {
+            p: self._run(p, kernel) for p in ("masked", "compacted", "auto")
+        }
+        base = runs["masked"]
+        for p in ("compacted", "auto"):
+            for w_base, w in zip(base.windows, runs[p].windows):
+                assert np.array_equal(w_base.values, w.values)
+                assert w_base.iterations == w.iterations
+
+    def test_compacted_does_less_edge_work(self):
+        masked = self._run("masked")
+        comp = self._run("compacted")
+        assert (
+            comp.work.edge_traversals < masked.work.edge_traversals
+        )
+
+    def test_context_override_wins(self):
+        # config says masked, context pins compacted: context wins
+        ctx = DriverContext(edge_path="compacted")
+        via_ctx = self._run("masked", context=ctx)
+        comp = self._run("compacted")
+        assert via_ctx.work.edge_traversals == comp.work.edge_traversals
+
+    def test_context_validates_edge_path(self):
+        with pytest.raises(ValidationError):
+            DriverContext(edge_path="fastest")
+
+    def test_multiwindow_views_forward_workspace(self):
+        events = random_events(seed=41)
+        spec = WindowSpec.covering(events, delta=3_000, sw=1_000)
+        part = MultiWindowPartition(events, spec, 2)
+        ws = Workspace()
+        view = part.window_view(0, workspace=ws)
+        packed = view.compact_pull()
+        assert packed.n_edges == view.n_active_edges
+
+
+def test_cli_run_accepts_edge_path(tmp_path, capsys):
+    import io
+
+    from repro.cli import main
+    from repro.events import save_events_npz
+
+    events = random_events(seed=43, n_events=200)
+    path = tmp_path / "ev.npz"
+    save_events_npz(events, str(path))
+    outs = {}
+    for edge_path in ("masked", "compacted"):
+        buf = io.StringIO()
+        rc = main(
+            [
+                "run", str(path), "--delta-days", "0.03", "--sw", "1000",
+                "--kernel", "spmv", "--edge-path", edge_path,
+            ],
+            out=buf,
+        )
+        assert rc == 0
+        outs[edge_path] = buf.getvalue()
+    # same solve, different execution strategy: identical tables
+    table = {
+        k: "\n".join(
+            line for line in v.splitlines() if not line.startswith("total")
+        )
+        for k, v in outs.items()
+    }
+    assert table["masked"] == table["compacted"]

@@ -118,10 +118,17 @@ class TestSpmvKernel:
 
     def test_work_stats_recorded(self, adjacency, spec):
         view = adjacency.window_view(spec.window(0))
-        r = pagerank_window(view)
+        r = pagerank_window(view, PagerankConfig(edge_path="masked"))
         assert r.work.iterations == r.iterations
         assert r.work.edge_traversals == r.iterations * adjacency.nnz
         assert r.work.vertex_ops == r.iterations * view.n_active_vertices
+
+    def test_work_stats_compacted_counts_active_edges(self, adjacency, spec):
+        view = adjacency.window_view(spec.window(0))
+        r = pagerank_window(view, PagerankConfig(edge_path="compacted"))
+        assert (
+            r.work.edge_traversals == r.iterations * view.n_active_edges
+        )
 
     def test_fixed_point_property(self, adjacency, spec, tight):
         """The converged vector satisfies the PageRank equation."""

@@ -1,5 +1,7 @@
 """Unit tests for the SpMM-inspired batched kernel (Section 4.4)."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -93,13 +95,27 @@ class TestSpmmKernel:
 
     def test_work_counts_shared_structure(self, adjacency, spec, tight):
         views = [adjacency.window_view(w) for w in spec]
-        batch = pagerank_windows_spmm(views, tight)
+        cfg = replace(tight, edge_path="masked")
+        batch = pagerank_windows_spmm(views, cfg)
         # the batched kernel reads the structure once per joint iteration,
         # not once per window per iteration
         assert batch.work.edge_traversals == batch.work.iterations * adjacency.nnz
         assert batch.work.iterations <= int(
             batch.iterations_per_window.max()
         ) + 1
+
+    def test_work_counts_compacted_union(self, adjacency, spec, tight):
+        views = [adjacency.window_view(w) for w in spec]
+        cfg = replace(tight, edge_path="compacted")
+        batch = pagerank_windows_spmm(views, cfg)
+        union = np.zeros(adjacency.nnz, dtype=np.bool_)
+        for v in views:
+            union |= v.in_dedup
+        m = int(union.sum())
+        # each joint iteration reads only the packed union of the k
+        # windows' active edges
+        assert batch.work.edge_traversals == batch.work.iterations * m
+        assert m <= adjacency.nnz
 
 
 class TestSpmmInsideMultiwindow:

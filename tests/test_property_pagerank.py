@@ -1,5 +1,7 @@
 """Property-based tests for the PageRank kernels."""
 
+from dataclasses import replace
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -103,3 +105,20 @@ def test_spmm_columns_equal_spmv(view, k):
     single = pagerank_window(view, CFG)
     for j in range(k):
         assert np.allclose(batch.values[:, j], single.values, atol=1e-8)
+
+
+@given(window_instances())
+@settings(max_examples=100, deadline=None)
+def test_edge_path_never_changes_values(view):
+    """``edge_path`` is a pure execution-strategy knob: masked, compacted
+    and auto produce bitwise-identical ``PagerankResult.values``."""
+    results = {
+        path: pagerank_window(view, replace(CFG, edge_path=path))
+        for path in ("masked", "compacted", "auto")
+    }
+    baseline = results["masked"]
+    for path in ("compacted", "auto"):
+        r = results[path]
+        assert np.array_equal(r.values, baseline.values)
+        assert r.iterations == baseline.iterations
+        assert r.converged == baseline.converged
