@@ -43,6 +43,11 @@ GUARDED = {
         (("spmm", "union_fraction"), "packed union fraction of nnz (spmm)"),
         (("spmm", "periter_ratio"), "compacted/masked per-iteration time (spmm)"),
     ],
+    # cluster p99 vs single-process p50 compares two back-to-back runs on
+    # the same machine — a ratio, like the compaction per-iteration times
+    "cluster_serving": [
+        (("slo", "p99_over_single_p50"), "cluster top-k p99 / single p50"),
+    ],
 }
 
 #: per-bench boolean invariants that must hold in the fresh results
@@ -61,6 +66,12 @@ REQUIRED_FLAGS = {
         ("spmm", "auto_within_bound"),
         ("pb", "match_close"),
         ("auto_within_bound",),
+    ],
+    "cluster_serving": [
+        ("parity_all_ops",),
+        ("overload_sheds",),
+        ("no_shm_leak",),
+        ("topk_p99_within_bound",),
     ],
 }
 

@@ -13,6 +13,8 @@ Usage (also available as ``python -m repro``)::
     repro-temporal inspect wiki.rankstore
     repro-temporal query wiki.rankstore top-k --window 3 -k 10
     repro-temporal serve wiki.rankstore --port 8321
+    repro-temporal serve wiki.rankstore --shards 3 --replicas 2
+    repro-temporal bench-traffic http://127.0.0.1:8321 --requests 2000
     repro-temporal lint src benchmarks --format json
 
 * **generate** — write a synthetic dataset profile to ``.npz``/``.tsv``.
@@ -31,7 +33,12 @@ Usage (also available as ``python -m repro``)::
 * **inspect** — describe a saved run archive or rank store.
 * **query** — answer top-k / rank / trajectory / movers / window-at
   queries against a rank store.
-* **serve** — JSON-over-HTTP query server with request micro-batching.
+* **serve** — JSON-over-HTTP query server with request micro-batching;
+  ``--shards N`` federates the store across worker processes (window
+  ranges in shared memory) behind an asyncio frontend with admission
+  control.
+* **bench-traffic** — zipfian load against a running server; reports
+  per-op p50/p99 latency, throughput, and shed/degraded counts.
 * **lint** — the project-specific static-analysis suite (exit 1 on
   findings; see ``docs/linting.md``).
 """
@@ -226,15 +233,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv = sub.add_parser(
         "serve", help="serve a rank store over JSON/HTTP"
     )
-    p_srv.add_argument("store", help="rank store path")
+    p_srv.add_argument("store",
+                       help="rank store path, or a directory holding "
+                       "exactly one (run output discovery)")
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8321)
     p_srv.add_argument("--workers", type=int, default=4,
-                       help="query worker threads")
+                       help="query worker threads (per shard when "
+                       "--shards > 1)")
     p_srv.add_argument("--max-batch", type=int, default=64,
                        help="max queries coalesced into one engine batch")
+    p_srv.add_argument("--shards", type=int, default=1,
+                       help="shard worker processes; > 1 federates the "
+                       "store across a window-partitioned cluster behind "
+                       "an asyncio frontend")
+    p_srv.add_argument("--replicas", type=int, default=1,
+                       help="replica processes per shard (cluster mode); "
+                       "replicas share the shard's rows via shared "
+                       "memory, zero extra copies")
+    p_srv.add_argument("--max-queue", type=int, default=None,
+                       help="bound the admission queue (per shard in "
+                       "cluster mode); a full queue sheds with 429 "
+                       "instead of queueing latency")
+    p_srv.add_argument("--submit-timeout", type=float, default=0.0,
+                       help="seconds a submit may wait for an admission "
+                       "slot before shedding")
+    p_srv.add_argument("--max-inflight", type=int, default=256,
+                       help="cluster frontend global in-flight request "
+                       "cap (cluster mode only)")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every request")
+
+    p_tr = sub.add_parser(
+        "bench-traffic",
+        help="drive zipfian query load at a running server and report "
+        "p50/p99/qps",
+    )
+    p_tr.add_argument("url", help="server base URL, e.g. "
+                      "http://127.0.0.1:8321")
+    p_tr.add_argument("--requests", type=int, default=1000,
+                      help="number of queries to send")
+    p_tr.add_argument("--concurrency", type=int, default=8,
+                      help="concurrent client threads")
+    p_tr.add_argument("--zipf-s", type=float, default=1.1,
+                      help="zipf skew of vertex/window popularity")
+    p_tr.add_argument("--top-k", type=int, default=10,
+                      help="k used by top_k/movers queries")
+    p_tr.add_argument("--mix", default=None,
+                      help="op mix as op=weight pairs, e.g. "
+                      "'top_k=0.7,rank=0.2,trajectory=0.05,movers=0.05'")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--timeout", type=float, default=10.0,
+                      help="per-request timeout in seconds")
+    p_tr.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the report as JSON")
 
     return parser
 
@@ -610,20 +662,43 @@ def cmd_query(args, out) -> int:
     return 0
 
 
+def _graceful_sigterm() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path so `kill` tears
+    the server down like Ctrl-C does — in cluster mode an abrupt exit
+    would orphan shard workers and leak their shm segments."""
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # lint: disable=silent-except — off the main thread (embedded use) the caller owns signal handling
+        pass
+
+
 def cmd_serve(args, out) -> int:
+    from repro.runtime.artifacts import discover_rank_store
+
+    _graceful_sigterm()
+    store_path = discover_rank_store(args.store)
+    if args.shards > 1:
+        return _serve_cluster(args, store_path, out)
     from repro.service import QueryServer
 
     server = QueryServer(
-        args.store,
+        store_path,
         host=args.host,
         port=args.port,
         workers=args.workers,
         max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        submit_timeout=args.submit_timeout,
         verbose=args.verbose,
     )
     store = server.engine.store
     print(
-        f"serving {args.store} ({store.n_windows} windows x "
+        f"serving {store_path} ({store.n_windows} windows x "
         f"{store.n_vertices} vertices) on {server.url} "
         f"({args.workers} workers; Ctrl-C to stop)",
         file=out,
@@ -634,6 +709,98 @@ def cmd_serve(args, out) -> int:
         print("shutting down", file=out)
     finally:
         server.shutdown()
+    return 0
+
+
+def _serve_cluster(args, store_path, out) -> int:
+    from repro.service.cluster import ClusterFrontend, ShardCluster
+
+    cluster = ShardCluster(
+        store_path,
+        n_shards=args.shards,
+        replicas=args.replicas,
+        max_queue=args.max_queue if args.max_queue is not None else 64,
+        submit_timeout=args.submit_timeout,
+        engine_workers=args.workers,
+        max_batch=args.max_batch,
+    )
+    frontend = ClusterFrontend(
+        cluster,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        own_cluster=True,
+        verbose=args.verbose,
+    )
+    try:
+        frontend.start()
+    except BaseException:
+        cluster.shutdown()
+        raise
+    print(
+        f"serving {store_path} ({cluster.n_windows} windows x "
+        f"{cluster.n_vertices} vertices) on {frontend.url} "
+        f"({args.shards} shards x {args.replicas} replicas; "
+        "Ctrl-C to stop)",
+        file=out,
+    )
+    try:
+        frontend.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        frontend.shutdown()
+    return 0
+
+
+def cmd_bench_traffic(args, out) -> int:
+    import json as json_mod
+    import urllib.request
+
+    from repro.errors import ValidationError
+    from repro.reporting import format_kv
+    from repro.service.cluster.traffic import (
+        generate_queries,
+        run_load,
+    )
+
+    base = args.url.rstrip("/")
+    with urllib.request.urlopen(base + "/store", timeout=10) as resp:
+        info = json_mod.loads(resp.read())
+    n_windows = int(info["windows"])
+    n_vertices = int(info["vertices"])
+
+    mix = None
+    if args.mix:
+        mix = {}
+        for token in args.mix.split(","):
+            op, _, weight = token.partition("=")
+            if not weight:
+                raise ValidationError(
+                    f"bad --mix entry {token!r}; expected op=weight"
+                )
+            mix[op.strip()] = float(weight)
+
+    queries = generate_queries(
+        args.requests,
+        n_windows,
+        n_vertices,
+        mix=mix,
+        zipf_s=args.zipf_s,
+        k=args.top_k,
+        seed=args.seed,
+    )
+    report = run_load(
+        base, queries, concurrency=args.concurrency, timeout=args.timeout
+    )
+    payload = report.as_dict()
+    if args.as_json:
+        print(json_mod.dumps(payload, indent=2), file=out)
+        return 0
+    summary = {k: v for k, v in payload.items() if k != "ops"}
+    print(format_kv(summary, title=f"load against {base}"), file=out)
+    for op, stats in payload["ops"].items():
+        print(format_kv(stats, title=f"op: {op}"), file=out)
     return 0
 
 
@@ -692,6 +859,7 @@ _COMMANDS = {
     "inspect": cmd_inspect,
     "query": cmd_query,
     "serve": cmd_serve,
+    "bench-traffic": cmd_bench_traffic,
 }
 
 

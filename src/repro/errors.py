@@ -18,6 +18,8 @@ __all__ = [
     "SchedulerError",
     "DatasetError",
     "LockOrderError",
+    "OverloadedError",
+    "ShardUnavailableError",
 ]
 
 
@@ -65,4 +67,21 @@ class LockOrderError(ReproError):
     lock carries a rank, and acquiring a lock whose rank is not strictly
     greater than the highest rank already held by the thread is the
     deadlock-shaped bug the runtime check exists to catch.
+    """
+
+
+class OverloadedError(ReproError):
+    """The serving tier shed a request instead of queueing it.
+
+    Raised when a bounded admission queue is full past its submit
+    timeout.  The HTTP layers translate this into a ``429`` so clients
+    see explicit load-shedding rather than unbounded latency.
+    """
+
+
+class ShardUnavailableError(ReproError):
+    """A cluster shard (or every replica of it) is dead or unreachable.
+
+    The federation layer catches this per query and answers with an
+    explicit ``degraded`` flag instead of failing the whole request.
     """

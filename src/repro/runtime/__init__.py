@@ -13,12 +13,20 @@ used to answer privately:
 * **output** — :mod:`repro.runtime.sinks`: chained streaming value
   sinks feeding rank stores and tests;
 * **construction** — :func:`~repro.runtime.registry.make_driver`: model
-  name → driver.
+  name → driver;
+* **discovery** — :mod:`repro.runtime.artifacts`: resolve a path (file
+  or run output directory) to the rank store the serving tier should
+  open.
 
 See ``docs/architecture.md`` ("The execution runtime") for the layer
 diagram.
 """
 
+from repro.runtime.artifacts import (
+    RankStoreCandidate,
+    discover_rank_store,
+    find_rank_stores,
+)
 from repro.runtime.base import ModelDriver, record_run_metadata
 from repro.runtime.context import (
     DriverContext,
@@ -47,4 +55,7 @@ __all__ = [
     "Sink",
     "chain_sinks",
     "counting_sink",
+    "RankStoreCandidate",
+    "discover_rank_store",
+    "find_rank_stores",
 ]

@@ -1,0 +1,101 @@
+"""Run-artifact discovery: from "a path" to "the rank store to serve".
+
+The runtime's sinks write servable ``.rankstore`` artifacts wherever a
+run pointed them (``run --store``), and operational commands (``serve``,
+``query``, the cluster bench) want to accept *that directory* rather
+than a memorized filename.  This module resolves a user-supplied path:
+
+* a rank-store file resolves to itself (validated by magic);
+* a directory is scanned one level deep for rank stores, each described
+  by its own run metadata (model, dimensions, file time) — exactly one
+  candidate resolves, several raise an error that lists them so the user
+  can name one explicitly.
+
+Scanning opens each candidate store only to read its O(1) preamble +
+index, never the matrix, so discovery over a directory of multi-GB
+artifacts stays instant.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.errors import ValidationError
+from repro.service.store import RankStore, is_rank_store
+
+__all__ = ["RankStoreCandidate", "discover_rank_store", "find_rank_stores"]
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class RankStoreCandidate:
+    """One discovered store and the metadata that identifies it."""
+
+    path: str
+    model: str
+    n_windows: int
+    n_vertices: int
+    mtime: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.path}  ({self.model}, {self.n_windows} windows x "
+            f"{self.n_vertices} vertices)"
+        )
+
+
+def _describe(path: str) -> RankStoreCandidate:
+    with RankStore(path) as store:
+        return RankStoreCandidate(
+            path=path,
+            model=store.model,
+            n_windows=store.n_windows,
+            n_vertices=store.n_vertices,
+            mtime=os.path.getmtime(path),
+        )
+
+
+def find_rank_stores(directory: PathLike) -> List[RankStoreCandidate]:
+    """Every rank store directly inside ``directory``, newest first."""
+    root = os.fspath(directory)
+    found: List[RankStoreCandidate] = []
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if os.path.isfile(path) and is_rank_store(path):
+            found.append(_describe(path))
+    found.sort(key=lambda c: c.mtime, reverse=True)
+    return found
+
+
+def discover_rank_store(path: PathLike) -> str:
+    """Resolve a file-or-directory path to one rank store path.
+
+    Raises :class:`~repro.errors.ValidationError` when the path is not a
+    store, holds no store, or holds several (listing every candidate).
+    """
+    p = os.fspath(path)
+    if os.path.isfile(p):
+        if not is_rank_store(p):
+            raise ValidationError(
+                f"{p} is not a rank store (bad magic); write one with "
+                "`run --store PATH`"
+            )
+        return p
+    if not os.path.isdir(p):
+        raise ValidationError(f"no such file or directory: {p}")
+    candidates = find_rank_stores(p)
+    if not candidates:
+        raise ValidationError(
+            f"no rank stores found in {p}; write one with "
+            "`run --store PATH`"
+        )
+    if len(candidates) > 1:
+        listing = "\n  ".join(c.describe() for c in candidates)
+        raise ValidationError(
+            f"{p} holds {len(candidates)} rank stores; name one "
+            f"explicitly:\n  {listing}"
+        )
+    return candidates[0].path

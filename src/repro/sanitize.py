@@ -31,6 +31,9 @@ import numpy as np
 from repro.errors import LockOrderError
 
 __all__ = [
+    "LOCK_RANK_CLUSTER_STATE",
+    "LOCK_RANK_CLUSTER_REPLICA",
+    "LOCK_RANK_CLUSTER_COUNTERS",
     "LOCK_RANK_ENGINE_CACHE",
     "LOCK_RANK_EXECUTOR_COUNTERS",
     "LOCK_RANK_EXECUTOR_STATE",
@@ -44,7 +47,15 @@ __all__ = [
 ]
 
 #: the global service-layer lock order, outermost (lowest rank) first;
-#: any nested acquisition must move to a strictly larger rank
+#: any nested acquisition must move to a strictly larger rank.  The
+#: cluster tier sits above (outside) the per-process serving stack: the
+#: coordinator may route into a replica proxy, and a proxy may touch its
+#: counters, while the worker-side executor/engine/store locks live in a
+#: different process entirely (but keep the order anyway — the in-process
+#: test cluster exercises both halves in one interpreter).
+LOCK_RANK_CLUSTER_STATE = 4
+LOCK_RANK_CLUSTER_REPLICA = 6
+LOCK_RANK_CLUSTER_COUNTERS = 8
 LOCK_RANK_EXECUTOR_STATE = 10
 LOCK_RANK_EXECUTOR_COUNTERS = 20
 LOCK_RANK_ENGINE_CACHE = 30

@@ -8,19 +8,25 @@ and a :class:`~repro.service.engine.QueryEngine` answers top-k / rank /
 trajectory / movers queries over mmap slices without ever loading the full
 matrix.  :class:`~repro.service.server.QueryServer` exposes the engine over
 JSON-over-HTTP with request micro-batching.
+
+When one process is not enough, :mod:`repro.service.cluster` federates
+the same query surface across shard worker processes behind an asyncio
+frontend (``serve --shards N``) — see that package's docstring.
 """
 
 from repro.service.cache import CacheStats, LRUCache
-from repro.service.engine import QueryEngine
-from repro.service.server import QueryServer
+from repro.service.engine import QueryEngine, compute_movers
+from repro.service.server import BatchingExecutor, QueryServer
 from repro.service.store import RankStore, RankStoreWriter, write_store
 
 __all__ = [
+    "BatchingExecutor",
     "CacheStats",
     "LRUCache",
     "QueryEngine",
     "QueryServer",
     "RankStore",
     "RankStoreWriter",
+    "compute_movers",
     "write_store",
 ]

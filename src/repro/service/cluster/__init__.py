@@ -1,0 +1,51 @@
+"""The sharded serving federation: one store, many processes, one API.
+
+A single :class:`~repro.service.server.QueryServer` is bounded by one
+process's GIL and one mmap.  This package federates the same query
+surface across shard worker processes:
+
+* :mod:`~repro.service.cluster.shard_map` — contiguous window-range
+  partition of the store (the routing table);
+* :mod:`~repro.service.cluster.worker` — the replica process: a
+  :class:`QueryEngine` + :class:`BatchingExecutor` stack over a
+  shared-memory :class:`ShardStore` (zero-copy rows, R replicas share
+  one physical copy);
+* :mod:`~repro.service.cluster.coordinator` —
+  :class:`~repro.service.cluster.coordinator.ShardCluster`: arena
+  publication, routing/scatter-gather, bounded per-shard admission
+  queues (load-shedding), health checks and the degraded path;
+* :mod:`~repro.service.cluster.frontend` —
+  :class:`~repro.service.cluster.frontend.ClusterFrontend`: the asyncio
+  HTTP front door with global admission control;
+* :mod:`~repro.service.cluster.traffic` — zipfian load generation and
+  the p50/p99 measurement harness the SLO gate runs on.
+"""
+
+from repro.service.cluster.coordinator import ReplicaProxy, ShardCluster
+from repro.service.cluster.frontend import ClusterFrontend
+from repro.service.cluster.shard_map import ShardMap, ShardSpec
+from repro.service.cluster.traffic import (
+    DEFAULT_MIX,
+    LoadReport,
+    generate_queries,
+    query_to_url,
+    run_load,
+    send_query,
+)
+from repro.service.cluster.worker import ShardStore, shard_worker_main
+
+__all__ = [
+    "ClusterFrontend",
+    "DEFAULT_MIX",
+    "LoadReport",
+    "ReplicaProxy",
+    "ShardCluster",
+    "ShardMap",
+    "ShardSpec",
+    "ShardStore",
+    "generate_queries",
+    "query_to_url",
+    "run_load",
+    "send_query",
+    "shard_worker_main",
+]

@@ -1,0 +1,131 @@
+"""The shard map: which window range lives on which shard.
+
+Kairos-style time-indexed placement applied to *rank stores* instead of
+input events: the unit of data placement is a contiguous window range of
+one ``.rankstore``.  Contiguity matters twice — range queries
+(``trajectory``) touch the minimum number of shards, and each shard's
+rows pack into one dense shared-memory block with no index translation
+beyond an offset.
+
+The map is a pure value object (picklable, no file handles): the
+coordinator builds one from a store, ships the per-shard specs to worker
+processes, and the frontend routes against it without touching disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ShardSpec", "ShardMap"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the global window axis: ``[lo, hi)``."""
+
+    shard_id: int
+    window_lo: int
+    window_hi: int
+
+    @property
+    def n_windows(self) -> int:
+        return self.window_hi - self.window_lo
+
+    def contains(self, window: int) -> bool:
+        return self.window_lo <= window < self.window_hi
+
+    def to_local(self, window: int) -> int:
+        """Translate a global window index into this shard's row space."""
+        if not self.contains(window):
+            raise ValidationError(
+                f"window {window} outside shard {self.shard_id} range "
+                f"[{self.window_lo}, {self.window_hi})"
+            )
+        return window - self.window_lo
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Contiguous window-range partition of one store across shards."""
+
+    n_windows: int
+    shards: Tuple[ShardSpec, ...]
+
+    @classmethod
+    def build(cls, n_windows: int, n_shards: int) -> "ShardMap":
+        """Split ``[0, n_windows)`` into ``n_shards`` near-equal ranges.
+
+        Uses ``np.array_split`` semantics: the first ``n_windows %
+        n_shards`` shards get one extra window, every shard is non-empty.
+        """
+        if n_windows <= 0:
+            raise ValidationError(f"n_windows must be > 0, got {n_windows}")
+        if n_shards <= 0:
+            raise ValidationError(f"n_shards must be > 0, got {n_shards}")
+        if n_shards > n_windows:
+            raise ValidationError(
+                f"cannot split {n_windows} windows into {n_shards} shards; "
+                "each shard needs at least one window"
+            )
+        bounds = np.linspace(0, n_windows, n_shards + 1).astype(np.int64)
+        shards = tuple(
+            ShardSpec(i, int(bounds[i]), int(bounds[i + 1]))
+            for i in range(n_shards)
+        )
+        return cls(n_windows=n_windows, shards=shards)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, window: int) -> ShardSpec:
+        """The shard holding one global window index."""
+        w = int(window)
+        if not (0 <= w < self.n_windows):
+            raise ValidationError(
+                f"window index {w} out of range [0, {self.n_windows})"
+            )
+        # ranges are contiguous from 0, so a bisect over the upper bounds
+        # lands on the owner directly
+        for spec in self.shards:
+            if w < spec.window_hi:
+                return spec
+        raise ValidationError(  # pragma: no cover - unreachable by invariant
+            f"window {w} matched no shard"
+        )
+
+    def shards_in_range(
+        self, start: int, stop: int
+    ) -> List[Tuple[ShardSpec, int, int]]:
+        """Shards overlapping ``[start, stop)`` with the global sub-range
+        each one owns, in window order."""
+        if not (0 <= start < stop <= self.n_windows):
+            raise ValidationError(
+                f"window range [{start}, {stop}) invalid for "
+                f"{self.n_windows} windows"
+            )
+        out: List[Tuple[ShardSpec, int, int]] = []
+        for spec in self.shards:
+            lo = max(start, spec.window_lo)
+            hi = min(stop, spec.window_hi)
+            if lo < hi:
+                out.append((spec, lo, hi))
+        return out
+
+    def describe(self) -> List[dict]:
+        """JSON-able topology summary for ``/cluster``."""
+        return [
+            {
+                "shard": s.shard_id,
+                "window_lo": s.window_lo,
+                "window_hi": s.window_hi,
+                "windows": s.n_windows,
+            }
+            for s in self.shards
+        ]

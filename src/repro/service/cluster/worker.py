@@ -1,0 +1,224 @@
+"""The shard worker process: one window range served out of shared memory.
+
+A worker owns no rank data.  The coordinator packs each shard's rows of
+the rank matrix into a POSIX shared-memory arena
+(:mod:`repro.parallel.shared_arena`); the worker *attaches* and builds a
+:class:`ShardStore` — a rank-store stand-in whose ``matrix`` is a
+zero-copy view of those shared pages — so R replicas of a shard share one
+physical copy of the rows instead of R heap copies.  On top of the store
+sits the exact same single-process serving stack as ``QueryServer``:
+a :class:`~repro.service.engine.QueryEngine` (LRU slice/top-k caches)
+fed by a :class:`~repro.service.server.BatchingExecutor` (micro-batching
+across concurrent requests).
+
+Transport is a ``multiprocessing`` duplex pipe.  Requests arrive as
+``(req_id, kind, payload)`` tuples with *local* window indices (the
+coordinator translates global indices before sending); replies go back
+as ``(req_id, ok, result)``.  Replies may be sent from any executor
+thread, so the connection is written under a send lock.  A ``None``
+message is the shutdown sentinel: the worker drains, closes, and exits.
+
+Pipe EOF alone cannot signal abrupt coordinator death: under the fork
+start method each worker inherits the parent-side pipe fds of every
+sibling spawned before it, so those fds outlive the parent and the pipe
+never closes.  The recv loop therefore polls with a timeout and watches
+``os.getppid()`` — an orphaned worker (parent gone, reparented to init)
+exits within a second instead of lingering.
+
+Kinds::
+
+    batch   payload = list of query dicts  -> list of result dicts
+    slice   payload = local window index   -> that window's rank vector
+                                              (the cross-shard movers path)
+    ping    payload = None                 -> executor + cache stats
+                                              (the health-check probe)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.parallel.shared_arena import ArenaHandle, attach_arena
+from repro.service.cluster.shard_map import ShardSpec
+from repro.service.engine import QueryEngine
+from repro.service.server import BatchingExecutor
+
+__all__ = ["ShardStore", "shard_worker_main"]
+
+logger = logging.getLogger(__name__)
+
+
+class ShardStore:
+    """A rank-store stand-in over one shard's shared-memory rows.
+
+    Exposes exactly the read surface :class:`QueryEngine` consumes:
+    ``matrix`` / ``n_windows`` / ``n_vertices`` / ``check_window`` /
+    ``check_vertex`` / ``windows_at`` / ``info`` / ``close``.  Window
+    indices are *local* (row 0 is global window ``spec.window_lo``); the
+    coordinator owns the translation.
+    """
+
+    def __init__(self, handle: ArenaHandle, prefix: str,
+                 spec: ShardSpec) -> None:
+        self.spec = spec
+        self._view = attach_arena(handle)
+        self.matrix = self._view.shared_view(prefix + "matrix")
+        if self.matrix.ndim != 2:
+            raise ValidationError(
+                f"shard {spec.shard_id}: expected a 2-D rank matrix, got "
+                f"shape {self.matrix.shape}"
+            )
+        if self.matrix.shape[0] != spec.n_windows:
+            raise ValidationError(
+                f"shard {spec.shard_id}: arena holds "
+                f"{self.matrix.shape[0]} rows, spec says {spec.n_windows}"
+            )
+        self.n_windows = int(self.matrix.shape[0])
+        self.n_vertices = int(self.matrix.shape[1])
+        self.dtype = self.matrix.dtype
+        self.path = f"shard://{spec.shard_id}"
+
+    # ------------------------------------------------------------------
+    def check_window(self, index: int) -> int:
+        index = int(index)
+        if not (0 <= index < self.n_windows):
+            raise ValidationError(
+                f"window index {index} out of range [0, {self.n_windows}) "
+                f"on shard {self.spec.shard_id}"
+            )
+        return index
+
+    def check_vertex(self, vertex: int) -> int:
+        vertex = int(vertex)
+        if not (0 <= vertex < self.n_vertices):
+            raise ValidationError(
+                f"vertex {vertex} out of range [0, {self.n_vertices})"
+            )
+        return vertex
+
+    def windows_at(self, timestamp: int) -> np.ndarray:
+        raise ValidationError(
+            "timestamp lookup is answered by the cluster frontend, not a "
+            "shard"
+        )
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "format": "shard (shared-memory)",
+            "shard": self.spec.shard_id,
+            "window_lo": self.spec.window_lo,
+            "window_hi": self.spec.window_hi,
+            "windows": self.n_windows,
+            "vertices": self.n_vertices,
+            "dtype": self.dtype.name,
+        }
+
+    def close(self) -> None:
+        """Drop the matrix reference (the arena mapping belongs to the
+        attach cache; the segment itself to the coordinator)."""
+        self.matrix = None
+
+
+def shard_worker_main(
+    shard_id: int,
+    replica_id: int,
+    handle: ArenaHandle,
+    prefix: str,
+    spec: ShardSpec,
+    conn,
+    engine_workers: int = 2,
+    max_batch: int = 64,
+    slice_cache_size: int = 64,
+    topk_cache_size: int = 256,
+) -> None:
+    """Entry point of one replica process: serve the pipe until told not to.
+
+    Every reply path (executor callback threads, the recv loop itself)
+    funnels through one send lock so pipe writes never interleave.
+    """
+    store: Optional[ShardStore] = None
+    executor: Optional[BatchingExecutor] = None
+    engine: Optional[QueryEngine] = None
+    send_lock = threading.Lock()
+
+    def reply(req_id: int, ok: bool, result) -> None:
+        with send_lock:
+            try:
+                conn.send((req_id, ok, result))
+            except (BrokenPipeError, OSError) as exc:
+                # the parent went away; nothing to answer to anymore
+                logger.warning(
+                    "shard %d/%d reply failed: %s", shard_id, replica_id, exc
+                )
+
+    try:
+        store = ShardStore(handle, prefix, spec)
+        engine = QueryEngine(
+            store,
+            slice_cache_size=slice_cache_size,
+            topk_cache_size=topk_cache_size,
+        )
+        executor = BatchingExecutor(
+            engine, workers=engine_workers, max_batch=max_batch
+        )
+        parent_pid = os.getppid()
+        while True:
+            try:
+                if not conn.poll(1.0):
+                    if os.getppid() != parent_pid:
+                        logger.warning(
+                            "shard %d/%d orphaned (coordinator %d gone), "
+                            "exiting", shard_id, replica_id, parent_pid,
+                        )
+                        break
+                    continue
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg is None:
+                break
+            req_id, kind, payload = msg
+            if kind == "batch":
+                future = executor.submit(payload)
+
+                def _done(f, rid=req_id):
+                    exc = f.exception()
+                    if exc is not None:
+                        reply(rid, False, str(exc))
+                    else:
+                        reply(rid, True, f.result())
+
+                future.add_done_callback(_done)
+            elif kind == "slice":
+                try:
+                    values = engine.window_slice(int(payload))
+                except ValidationError as exc:
+                    reply(req_id, False, str(exc))
+                else:
+                    reply(req_id, True, values)
+            elif kind == "ping":
+                stats = dict(engine.stats())
+                stats["batching"] = executor.stats()
+                stats["shard"] = shard_id
+                stats["replica"] = replica_id
+                reply(req_id, True, stats)
+            else:
+                reply(req_id, False, f"unknown request kind {kind!r}")
+    finally:
+        if executor is not None:
+            executor.stop(timeout=2.0)
+        if engine is not None:
+            engine.close()
+        elif store is not None:
+            store.close()
+        try:
+            conn.close()
+        except OSError as exc:  # pragma: no cover - teardown race
+            logger.debug("shard %d/%d conn close: %s",
+                         shard_id, replica_id, exc)

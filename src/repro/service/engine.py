@@ -25,6 +25,7 @@ builds on.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -34,13 +35,44 @@ from repro.sanitize import freeze_boundary
 from repro.service.cache import LRUCache
 from repro.service.store import RankStore
 
-__all__ = ["QueryEngine"]
+__all__ = ["QueryEngine", "compute_movers"]
 
 PathOrStore = Union[str, RankStore]
 
 
+def compute_movers(
+    a: np.ndarray, b: np.ndarray, k: int
+) -> List[Dict[str, float]]:
+    """The k largest |Δrank| entries between two window vectors.
+
+    Shared by :meth:`QueryEngine.movers` (both windows on one store) and
+    the cluster coordinator's cross-shard gather (each vector fetched
+    from a different shard) so both paths rank deltas identically.
+    """
+    delta = b - a
+    magnitude = np.abs(delta)
+    k = min(k, a.shape[0])
+    idx = np.argpartition(magnitude, -k)[-k:]
+    idx = idx[np.argsort(magnitude[idx], kind="stable")[::-1]]
+    return [
+        {
+            "vertex": int(v),
+            "delta": float(delta[v]),
+            "rank_from": float(a[v]),
+            "rank_to": float(b[v]),
+        }
+        for v in idx
+        if magnitude[v] > 0.0
+    ]
+
+
 class QueryEngine:
-    """Answers rank queries over one :class:`RankStore`."""
+    """Answers rank queries over one :class:`RankStore`.
+
+    Any object exposing the rank-store read surface works as ``store``
+    (the cluster's shard workers pass a shared-memory backed stand-in);
+    a path opens a :class:`RankStore`.
+    """
 
     def __init__(
         self,
@@ -49,7 +81,9 @@ class QueryEngine:
         topk_cache_size: int = 256,
     ) -> None:
         self.store = (
-            store if isinstance(store, RankStore) else RankStore(store)
+            RankStore(store)
+            if isinstance(store, (str, os.PathLike))
+            else store
         )
         self.slice_cache = LRUCache(slice_cache_size, name="slice")
         self.topk_cache = LRUCache(topk_cache_size, name="topk")
@@ -139,21 +173,7 @@ class QueryEngine:
             raise ValidationError(f"k must be > 0, got {k}")
         a = self.window_slice(w_from)
         b = self.window_slice(w_to)
-        delta = b - a
-        magnitude = np.abs(delta)
-        k = min(k, self.store.n_vertices)
-        idx = np.argpartition(magnitude, -k)[-k:]
-        idx = idx[np.argsort(magnitude[idx], kind="stable")[::-1]]
-        return [
-            {
-                "vertex": int(v),
-                "delta": float(delta[v]),
-                "rank_from": float(a[v]),
-                "rank_to": float(b[v]),
-            }
-            for v in idx
-            if magnitude[v] > 0.0
-        ]
+        return compute_movers(a, b, k)
 
     def windows_at(self, timestamp: int) -> List[int]:
         """Indices of every window containing ``timestamp``."""

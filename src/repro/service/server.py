@@ -15,7 +15,8 @@ Two pieces:
 
 Endpoints::
 
-    GET  /health
+    GET  /health                       liveness (plain ok)
+    GET  /healthz                      liveness + load (in-flight count)
     GET  /store                        store summary
     GET  /stats                        cache + batching counters
     GET  /top_k?window=W&k=K
@@ -24,6 +25,13 @@ Endpoints::
     GET  /movers?from=A&to=B&k=K
     GET  /windows_at?t=T
     POST /batch                        JSON list of query dicts
+
+Under saturation the executor's admission queue is bounded
+(``max_queue``): a submit that cannot enter the queue within
+``submit_timeout`` raises :class:`~repro.errors.OverloadedError`, which
+the HTTP layer reports as ``429`` — explicit load-shedding instead of
+unbounded queueing latency.  The cluster frontend
+(:mod:`repro.service.cluster`) relies on that signal for backpressure.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ValidationError
+from repro.errors import OverloadedError, ValidationError
 from repro.sanitize import (
     LOCK_RANK_EXECUTOR_COUNTERS,
     LOCK_RANK_EXECUTOR_STATE,
@@ -78,26 +86,53 @@ class _Job:
 
 
 class BatchingExecutor:
-    """Coalesces concurrent query jobs into shared engine batches."""
+    """Coalesces concurrent query jobs into shared engine batches.
+
+    ``max_queue`` bounds how many jobs may sit in the admission queue at
+    once (``None`` = unbounded, the pre-federation behaviour).  A submit
+    against a full queue waits at most ``submit_timeout`` seconds for a
+    slot and then raises :class:`~repro.errors.OverloadedError` — the
+    load-shedding signal the serving frontends turn into ``429``.
+    """
 
     def __init__(
         self,
         engine: QueryEngine,
         workers: int = 4,
         max_batch: int = 64,
+        max_queue: Optional[int] = None,
+        submit_timeout: float = 0.0,
     ) -> None:
         if workers <= 0:
             raise ValidationError(f"workers must be > 0, got {workers}")
         if max_batch <= 0:
             raise ValidationError(f"max_batch must be > 0, got {max_batch}")
+        if max_queue is not None and max_queue <= 0:
+            raise ValidationError(f"max_queue must be > 0, got {max_queue}")
+        if submit_timeout < 0:
+            raise ValidationError(
+                f"submit_timeout must be >= 0, got {submit_timeout}"
+            )
         self.engine = engine
         self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.submit_timeout = submit_timeout
         self._queue: "queue.Queue" = queue.Queue()
+        # admission slots live beside the queue (not as queue maxsize) so
+        # the _STOP sentinels can never be blocked out by a full queue
+        self._slots = (
+            threading.BoundedSemaphore(max_queue)
+            if max_queue is not None
+            else None
+        )
         self._counter_lock = make_lock(
             "executor-counters", LOCK_RANK_EXECUTOR_COUNTERS
         )
         self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_shed = 0
         self.batches_executed = 0
+        self.batched_queries = 0
         self.jobs_coalesced = 0
         #: guards ``_stopped`` together with queue insertion, so a job can
         #: never be enqueued behind the ``_STOP`` sentinels (where no
@@ -117,21 +152,47 @@ class BatchingExecutor:
 
     # ------------------------------------------------------------------
     def submit(self, queries: Sequence[Dict]) -> "Future[List[Dict]]":
-        """Enqueue one job; the future resolves to one result per query."""
+        """Enqueue one job; the future resolves to one result per query.
+
+        Raises :class:`~repro.errors.OverloadedError` when the bounded
+        admission queue stays full past ``submit_timeout``.
+        """
+        if self._slots is not None and not self._slots.acquire(
+            timeout=self.submit_timeout
+        ):
+            with self._counter_lock:
+                self.jobs_shed += 1
+            raise OverloadedError(
+                f"admission queue full ({self.max_queue} jobs); request "
+                "shed after "
+                f"{self.submit_timeout:.3f}s"
+            )
         job = _Job(queries)
-        with self._state_lock:
-            if self._stopped:
-                raise ValidationError("executor is stopped")
-            self._queue.put(job)
+        try:
+            with self._state_lock:
+                if self._stopped:
+                    raise ValidationError("executor is stopped")
+                self._queue.put(job)
+        except BaseException:
+            self._release_slot()
+            raise
         with self._counter_lock:
             self.jobs_submitted += 1
         return job.future
+
+    def _release_slot(self) -> None:
+        if self._slots is not None:
+            try:
+                self._slots.release()
+            except ValueError:  # pragma: no cover - defensive double release
+                logger.warning("admission slot over-released")
 
     def _worker(self) -> None:
         while True:
             job = self._queue.get()
             if job is _STOP:
                 return
+            self._release_slot()
             jobs = [job]
             # gulp whatever queued up behind this job: those queries ride
             # in the same engine batch and share slice decodes
@@ -143,11 +204,14 @@ class BatchingExecutor:
                 if nxt is _STOP:
                     self._queue.put(_STOP)  # hand the sentinel back
                     break
+                self._release_slot()
                 jobs.append(nxt)
             queries = [q for j in jobs for q in j.queries]
             try:
                 results = self.engine.batch(queries)
             except Exception as exc:  # noqa: BLE001 - worker boundary
+                with self._counter_lock:
+                    self.jobs_completed += len(jobs)
                 for j in jobs:
                     if not j.future.set_running_or_notify_cancel():
                         continue
@@ -155,6 +219,8 @@ class BatchingExecutor:
                 continue
             with self._counter_lock:
                 self.batches_executed += 1
+                self.batched_queries += len(queries)
+                self.jobs_completed += len(jobs)
                 if len(jobs) > 1:
                     self.jobs_coalesced += len(jobs)
             offset = 0
@@ -164,12 +230,28 @@ class BatchingExecutor:
                 if j.future.set_running_or_notify_cancel():
                     j.future.set_result(part)
 
-    def stats(self) -> Dict[str, int]:
+    def in_flight(self) -> int:
+        """Jobs admitted but not yet answered (queued + mid-batch)."""
         with self._counter_lock:
+            return self.jobs_submitted - self.jobs_completed
+
+    def stats(self) -> Dict[str, float]:
+        with self._counter_lock:
+            in_flight = self.jobs_submitted - self.jobs_completed
+            mean_batch = (
+                self.batched_queries / self.batches_executed
+                if self.batches_executed
+                else 0.0
+            )
             return {
                 "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "jobs_shed": self.jobs_shed,
+                "in_flight": in_flight,
                 "batches_executed": self.batches_executed,
                 "jobs_coalesced": self.jobs_coalesced,
+                "mean_batch_queries": round(mean_batch, 3),
+                "max_queue": self.max_queue or 0,
                 "workers": len(self._workers),
             }
 
@@ -235,6 +317,19 @@ class _Handler(BaseHTTPRequestHandler):
         if url.path == "/health":
             self._reply(200, {"status": "ok"})
             return
+        if url.path == "/healthz":
+            # the cluster health checker's probe: liveness plus load, so
+            # a hung-but-accepting server is distinguishable from a
+            # healthy one
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "in_flight": self.server.executor.in_flight(),
+                    "workers": len(self.server.executor._workers),
+                },
+            )
+            return
         if url.path == "/store":
             self._reply(200, self.server.engine.store.info())
             return
@@ -278,6 +373,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             future = self.server.executor.submit(queries)
             results = future.result(timeout=self.server.request_timeout)
+        except OverloadedError as exc:
+            self._reply(429, {"error": str(exc), "shed": True})
+            return
         except Exception as exc:  # noqa: BLE001 - request boundary
             self._reply(500, {"error": str(exc)})
             return
@@ -320,6 +418,8 @@ class QueryServer:
         port: int = 8321,
         workers: int = 4,
         max_batch: int = 64,
+        max_queue: Optional[int] = None,
+        submit_timeout: float = 0.0,
         request_timeout: float = 30.0,
         verbose: bool = False,
     ) -> None:
@@ -327,7 +427,11 @@ class QueryServer:
             store if isinstance(store, QueryEngine) else QueryEngine(store)
         )
         self.executor = BatchingExecutor(
-            self.engine, workers=workers, max_batch=max_batch
+            self.engine,
+            workers=workers,
+            max_batch=max_batch,
+            max_queue=max_queue,
+            submit_timeout=submit_timeout,
         )
         self._httpd = _RankHTTPServer((host, port), _Handler)
         self._httpd.engine = self.engine

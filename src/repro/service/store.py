@@ -39,7 +39,13 @@ from repro.events.windows import WindowSpec
 from repro.models.base import RunResult, WindowResult
 from repro.models.results_io import WINDOW_FIELDS, jsonable_metadata
 
-__all__ = ["MAGIC", "RankStore", "RankStoreWriter", "write_store"]
+__all__ = [
+    "MAGIC",
+    "RankStore",
+    "RankStoreWriter",
+    "intervals_containing",
+    "write_store",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -59,6 +65,24 @@ _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 #: per-window metadata columns carried in the JSON index (the same fields
 #: the ``.npz`` run archives store, minus window_index which is implicit)
 INDEX_FIELDS = [f for f in WINDOW_FIELDS if f != "window_index"]
+
+
+def intervals_containing(
+    t_start: np.ndarray, t_end: np.ndarray, timestamp: int
+) -> np.ndarray:
+    """Indices of every window interval containing ``timestamp``.
+
+    Window starts are non-decreasing, so both bounds come from
+    ``searchsorted``.  Shared by :meth:`RankStore.windows_at` and the
+    cluster coordinator (which answers timestamp lookups from its
+    retained interval columns without a shard round-trip).
+    """
+    t = int(timestamp)
+    hi = int(np.searchsorted(t_start, t, side="right"))
+    lo = int(np.searchsorted(t_end, t, side="left"))
+    if lo >= hi:
+        return np.empty(0, dtype=np.int64)
+    return np.arange(lo, hi, dtype=np.int64)
 
 
 def _pack_preamble(n_windows: int, n_vertices: int, dtype_code: int,
@@ -369,12 +393,7 @@ class RankStore:
                 "store carries no window intervals; rewrite it passing a "
                 "WindowSpec to enable timestamp lookup"
             )
-        t = int(timestamp)
-        hi = int(np.searchsorted(self.t_start, t, side="right"))
-        lo = int(np.searchsorted(self.t_end, t, side="left"))
-        if lo >= hi:
-            return np.empty(0, dtype=np.int64)
-        return np.arange(lo, hi, dtype=np.int64)
+        return intervals_containing(self.t_start, self.t_end, timestamp)
 
     def info(self) -> Dict[str, object]:
         """A flat summary for ``repro-temporal inspect``."""

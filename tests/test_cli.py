@@ -140,3 +140,257 @@ class TestCompareSweep:
         assert rc == 0
         text = out.getvalue()
         assert "simulated makespan" in text and "best:" in text
+
+
+@pytest.fixture
+def rankstore_dir(tmp_path):
+    """A directory holding one rank store written through the runtime."""
+    import numpy as np
+
+    from repro.service import RankStoreWriter
+
+    rng = np.random.default_rng(3)
+    path = tmp_path / "run.rankstore"
+    with RankStoreWriter(path, n_windows=6, n_vertices=30) as w:
+        for i in range(6):
+            row = rng.random(30)
+            w.write_window(i, row / row.sum())
+    return tmp_path
+
+
+class TestStoreDiscovery:
+    def test_file_resolves_to_itself(self, rankstore_dir):
+        from repro.runtime import discover_rank_store
+
+        path = str(rankstore_dir / "run.rankstore")
+        assert discover_rank_store(path) == path
+
+    def test_directory_with_one_store(self, rankstore_dir):
+        from repro.runtime import discover_rank_store
+
+        assert discover_rank_store(str(rankstore_dir)).endswith(
+            "run.rankstore"
+        )
+
+    def test_empty_directory_errors(self, tmp_path):
+        from repro.errors import ValidationError
+        from repro.runtime import discover_rank_store
+
+        with pytest.raises(ValidationError, match="no rank stores"):
+            discover_rank_store(str(tmp_path))
+
+    def test_ambiguous_directory_lists_candidates(self, rankstore_dir):
+        import shutil
+
+        from repro.errors import ValidationError
+        from repro.runtime import discover_rank_store
+
+        shutil.copy(
+            rankstore_dir / "run.rankstore",
+            rankstore_dir / "other.rankstore",
+        )
+        with pytest.raises(ValidationError) as err:
+            discover_rank_store(str(rankstore_dir))
+        message = str(err.value)
+        assert "run.rankstore" in message
+        assert "other.rankstore" in message
+        assert "6 windows x 30 vertices" in message
+
+    def test_non_store_file_errors(self, tmp_path):
+        from repro.errors import ValidationError
+        from repro.runtime import discover_rank_store
+
+        bogus = tmp_path / "x.rankstore"
+        bogus.write_bytes(b"not a store")
+        with pytest.raises(ValidationError, match="bad magic"):
+            discover_rank_store(str(bogus))
+
+    def test_serve_cli_reports_discovery_error(self, tmp_path):
+        rc = main(["serve", str(tmp_path), "--port", "0"],
+                  out=io.StringIO())
+        assert rc == 1
+
+
+class TestBenchTraffic:
+    def test_one_shot_against_server(self, rankstore_dir):
+        from repro.service import QueryServer
+
+        with QueryServer(
+            str(rankstore_dir / "run.rankstore"), port=0, workers=2
+        ).start() as srv:
+            out = io.StringIO()
+            rc = main(
+                [
+                    "bench-traffic", srv.url,
+                    "--requests", "60",
+                    "--concurrency", "3",
+                    "--seed", "1",
+                ],
+                out=out,
+            )
+        assert rc == 0
+        text = out.getvalue()
+        assert "qps" in text and "p99_ms" in text
+
+    def test_json_output_and_mix(self, rankstore_dir):
+        import json as json_mod
+
+        from repro.service import QueryServer
+
+        with QueryServer(
+            str(rankstore_dir / "run.rankstore"), port=0, workers=2
+        ).start() as srv:
+            out = io.StringIO()
+            rc = main(
+                [
+                    "bench-traffic", srv.url,
+                    "--requests", "40",
+                    "--mix", "top_k=1.0",
+                    "--json",
+                ],
+                out=out,
+            )
+        assert rc == 0
+        payload = json_mod.loads(out.getvalue())
+        assert payload["total"] == 40
+        assert payload["errors"] == 0
+        assert list(payload["ops"]) == ["top_k"]
+
+    def test_bad_mix_errors(self, rankstore_dir):
+        from repro.service import QueryServer
+
+        with QueryServer(
+            str(rankstore_dir / "run.rankstore"), port=0
+        ).start() as srv:
+            rc = main(
+                ["bench-traffic", srv.url, "--mix", "top_k"],
+                out=io.StringIO(),
+            )
+        assert rc == 1
+
+
+class TestServeTeardown:
+    """The CLI server against real process signals.
+
+    `kill` (SIGTERM) must tear a sharded server down like Ctrl-C —
+    workers reaped, shm segments unlinked.  SIGKILL skips all cleanup by
+    definition; the workers' getppid() watch must still reap them (the
+    parent-side pipe fds they inherit from forked siblings mean EOF
+    never arrives), though the segments leak until an external sweep.
+    """
+
+    def _spawn(self, rankstore_dir):
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(rankstore_dir),
+             "--shards", "2", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True,
+        )
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:\d+", banner)
+        assert match, f"no URL in banner: {banner!r} (rc={proc.poll()})"
+        url = match.group(0)
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(url + "/healthz", timeout=1):
+                    break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            proc.kill()
+            raise AssertionError("server never became healthy")
+        return proc, url
+
+    @staticmethod
+    def _children_of(pid):
+        import subprocess
+
+        out = subprocess.run(
+            ["ps", "-o", "pid=", "--ppid", str(pid)],
+            capture_output=True, text=True,
+        ).stdout
+        return [int(tok) for tok in out.split()]
+
+    @staticmethod
+    def _wait_dead(pids, timeout=10.0):
+        import os
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            alive = []
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    continue
+                alive.append(pid)
+            if not alive:
+                return []
+            time.sleep(0.2)
+        return alive
+
+    def _reap(self, proc):
+        """Whatever the test proved or failed to prove, leave nothing
+        behind: kill the server if still up, then sweep any segments
+        its pid published (SIGKILL skips the parent's own unlink)."""
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=15)
+        proc.stdout.close()
+        self._wait_dead(self._children_of(proc.pid))
+        for seg in self._segments(proc.pid):
+            seg.unlink()
+
+    @staticmethod
+    def _segments(pid):
+        from pathlib import Path
+
+        shm = Path("/dev/shm")
+        if not shm.is_dir():
+            return []
+        return list(shm.glob(f"repro_arena_{pid}_*"))
+
+    def test_sigterm_is_graceful(self, rankstore_dir):
+        import signal
+
+        proc, _ = self._spawn(rankstore_dir)
+        try:
+            # 2 shard workers + multiprocessing's resource tracker
+            workers = self._children_of(proc.pid)
+            assert len(workers) >= 2
+            assert self._segments(proc.pid)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+            output = proc.stdout.read()
+            assert "shutting down" in output
+            assert self._wait_dead(workers) == []
+            assert self._segments(proc.pid) == []
+        finally:
+            self._reap(proc)
+
+    def test_sigkilled_parent_reaps_workers(self, rankstore_dir):
+        import signal
+
+        proc, _ = self._spawn(rankstore_dir)
+        try:
+            workers = self._children_of(proc.pid)
+            assert len(workers) >= 2
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=15)
+            # the getppid() watch polls every second; give it a few
+            assert self._wait_dead(workers, timeout=10.0) == []
+        finally:
+            self._reap(proc)

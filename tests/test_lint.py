@@ -625,3 +625,14 @@ class TestRepositoryIsClean:
         )
         assert report.files_checked > 80
         assert report.clean, "\n" + render_text(report)
+
+    def test_scopes_cover_the_serving_federation(self):
+        # scopes are path fragments, so service/ covers service/cluster/;
+        # the shard workers hold shared_view matrices, which is exactly
+        # the dangling-view shape mmap-escape exists for
+        cluster_path = "src/repro/service/cluster/worker.py"
+        applicable = {
+            r.name for r in ALL_RULES if r.applies_to(cluster_path)
+        }
+        assert {"mmap-escape", "lock-discipline", "lock-blocking-call",
+                "silent-except", "mutable-default"} <= applicable
