@@ -214,7 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src benchmarks)",
     )
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         dest="fmt", help="report format",
     )
     p_lint.add_argument(
@@ -228,6 +228,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--list-rules", action="store_true",
         help="list rule names and descriptions, then exit",
+    )
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program analyses (call graph, lock "
+        "flow, async safety, arena lifecycle, determinism)",
+    )
+    p_lint.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print a rule's description and motivating bug, then exit",
+    )
+    p_lint.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="accepted-findings baseline for --deep (default: "
+        "lint-baseline.json when it exists)",
+    )
+    p_lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current --deep findings as the baseline and "
+        "exit 0",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true",
+        help="rebuild the --deep call graph instead of using "
+        ".lint-cache/",
     )
 
     p_srv = sub.add_parser(
@@ -805,16 +833,56 @@ def cmd_bench_traffic(args, out) -> int:
 
 
 def cmd_lint(args, out) -> int:
+    from pathlib import Path
+
+    from repro.errors import ValidationError
     from repro.lint import (
+        ALL_RULES,
+        LintReport,
+        iter_python_files,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
         rule_descriptions,
     )
+    from repro.lint.analyses import (
+        ALL_ANALYSES,
+        analysis_descriptions,
+        run_deep,
+    )
+    from repro.lint.baseline import (
+        DEFAULT_BASELINE_NAME,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
     from repro.reporting import format_table
+
+    if args.explain:
+        catalog = {r.name: r for r in ALL_RULES}
+        catalog.update({a.name: a for a in ALL_ANALYSES})
+        checker = catalog.get(args.explain)
+        if checker is None:
+            raise ValidationError(
+                f"unknown lint rule {args.explain!r}; known rules: "
+                f"{', '.join(sorted(catalog))}"
+            )
+        deep_note = " (whole-program, needs --deep)" if checker in set(
+            ALL_ANALYSES
+        ) else ""
+        print(f"{checker.name}{deep_note}: {checker.description}",
+              file=out)
+        if checker.motivation:
+            print(f"\nMotivating bug: {checker.motivation}", file=out)
+        return 0
 
     if args.list_rules:
         rows = [[name, desc] for name, desc in rule_descriptions().items()]
+        rows += [
+            [f"{name} (--deep)", desc]
+            for name, desc in analysis_descriptions().items()
+        ]
         print(
             format_table(["rule", "description"], rows,
                          title="repro.lint rules"),
@@ -827,11 +895,101 @@ def cmd_lint(args, out) -> int:
             return None
         return [tok for tok in (t.strip() for t in spec.split(",")) if tok]
 
-    report = lint_paths(
-        args.paths, select=split(args.select), ignore=split(args.ignore)
-    )
-    renderer = render_json if args.fmt == "json" else render_text
-    print(renderer(report), file=out)
+    select, ignore = split(args.select), split(args.ignore)
+    rule_names = set(rule_descriptions())
+    analysis_names = set(analysis_descriptions())
+
+    if not args.deep:
+        report = lint_paths(args.paths, select=select, ignore=ignore)
+        notes = []
+    else:
+        rule_select = (
+            [n for n in select if n in rule_names]
+            if select is not None else None
+        )
+        rule_ignore = (
+            [n for n in ignore if n in rule_names]
+            if ignore is not None else None
+        )
+        if select is not None and not rule_select:
+            # only analyses selected: still count the files
+            report = LintReport(
+                findings=[],
+                files_checked=len(iter_python_files(args.paths)),
+                rules=[],
+            )
+        else:
+            report = lint_paths(
+                args.paths, select=rule_select, ignore=rule_ignore
+            )
+        cache_dir = None if args.no_cache else Path(".lint-cache")
+        deep_findings = run_deep(
+            args.paths, select=select, ignore=ignore,
+            known_rules=sorted(rule_names), cache_dir=cache_dir,
+        )
+        notes = []
+        baseline_path = args.baseline
+        if baseline_path is None and Path(DEFAULT_BASELINE_NAME).exists():
+            baseline_path = DEFAULT_BASELINE_NAME
+        if args.write_baseline:
+            target = args.baseline or DEFAULT_BASELINE_NAME
+            baseline = write_baseline(deep_findings, target)
+            print(
+                f"wrote {len(baseline)} baseline entr"
+                f"{'y' if len(baseline) == 1 else 'ies'} to {target}",
+                file=out,
+            )
+            return 0
+        if baseline_path is not None:
+            baseline = load_baseline(baseline_path)
+            deep_findings, matched, stale = apply_baseline(
+                deep_findings, baseline
+            )
+            if matched:
+                notes.append(
+                    f"{matched} finding(s) matched the baseline "
+                    f"({baseline_path})"
+                )
+            for entry in stale:
+                notes.append(
+                    f"stale baseline entry (no longer matches): "
+                    f"[{entry.rule}] {entry.path}: {entry.message}"
+                )
+        report = LintReport(
+            findings=sorted(report.findings + deep_findings),
+            files_checked=report.files_checked,
+            rules=sorted(
+                set(report.rules)
+                | {
+                    a.name for a in ALL_ANALYSES
+                    if (select is None or a.name in select)
+                    and a.name not in set(ignore or ())
+                }
+            ),
+        )
+
+    if args.fmt == "json":
+        rendered = render_json(report)
+    elif args.fmt == "sarif":
+        descriptions = dict(rule_descriptions())
+        descriptions.update(analysis_descriptions())
+        rendered = render_sarif(report, descriptions)
+    else:
+        rendered = render_text(report)
+        if notes:
+            rendered += "\n" + "\n".join(notes)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(
+            f"wrote {args.fmt} report to {args.output} "
+            f"({len(report.findings)} finding(s))",
+            file=out,
+        )
+        for note in notes:
+            print(note, file=out)
+    else:
+        # keep json/sarif stdout machine-parseable: no trailing notes
+        print(rendered, file=out)
     return 0 if report.clean else 1
 
 

@@ -1,20 +1,29 @@
 """repro.lint — the project-specific static-analysis suite.
 
-Eight AST-based checkers enforce the invariants this codebase's own
+Eight per-file AST checkers enforce the invariants this codebase's own
 post-mortems produced (see ``docs/linting.md`` for the rule catalog and
 each rule's motivating bug): zero-copy escapes from mmap-backed stores,
 lock discipline in the serving layer, blocking calls under locks,
 deterministic RNG, pinned dtypes in hot kernels, vectorized CSR access,
-no swallowed exceptions, no shared mutable defaults.
+no swallowed exceptions, no shared mutable defaults.  On top of them,
+``--deep`` (:mod:`repro.lint.analyses`) builds a project-wide call graph
+(:mod:`repro.lint.callgraph`) and runs four whole-program analyses —
+``lock-order``, ``async-blocking``, ``arena-lifecycle``,
+``deep-determinism`` — that catch the cross-module twins the per-file
+view cannot see.
 
 Run from the CLI::
 
     repro-temporal lint src benchmarks
     repro-temporal lint --format json --select missing-dtype,unseeded-rng
+    repro-temporal lint --deep --format sarif --output lint.sarif src
+    repro-temporal lint --explain lock-order
 
-or programmatically via :func:`lint_paths` / :func:`lint_source`.
-Intentional violations carry ``# lint: disable=<rule>`` with a one-line
-justification.  The two most dangerous rules are additionally enforced at
+or programmatically via :func:`lint_paths` / :func:`lint_source` /
+:func:`repro.lint.analyses.run_deep`.  Intentional violations carry
+``# lint: disable=<rule>`` with a one-line justification; certified-
+impossible deep findings live in the committed ``lint-baseline.json``
+instead.  The two most dangerous rules are additionally enforced at
 runtime by :mod:`repro.sanitize`.
 """
 
@@ -22,15 +31,19 @@ from repro.lint.core import (
     Finding,
     LintReport,
     Rule,
+    filter_suppressed,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
     resolve_rules,
+    statement_spans,
 )
 from repro.lint.reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.lint.rules import ALL_RULES, rule_descriptions
@@ -41,12 +54,16 @@ __all__ = [
     "JSON_SCHEMA_VERSION",
     "LintReport",
     "Rule",
+    "SARIF_VERSION",
+    "filter_suppressed",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rules",
     "rule_descriptions",
+    "statement_spans",
 ]

@@ -1,0 +1,112 @@
+"""The whole-program analyses behind ``repro-temporal lint --deep``.
+
+Four checkers run over the shared :mod:`repro.lint.callgraph` project
+(one build, one lock-flow fixpoint, four consumers):
+
+* ``lock-order`` — static rank-inversion and blocking-under-a-caller's-
+  lock detection (:mod:`.lock_order`);
+* ``async-blocking`` — synchronous blocking work reachable from
+  coroutines (:mod:`.async_safety`);
+* ``arena-lifecycle`` — shared-memory views used after close, escaping
+  through extra return frames, or segments never cleaned up
+  (:mod:`.lifecycle`);
+* ``deep-determinism`` — unordered iteration / unseeded RNG on paths
+  feeding result values or rank-store bytes (:mod:`.determinism`).
+
+:func:`run_deep` is the one entry point: build (or load from cache) the
+project, compute lock flow, run the selected analyses, and filter the
+findings through the same ``# lint: disable=`` suppressions the
+per-file rules honor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ValidationError
+from repro.lint.analyses.async_safety import AsyncBlockingAnalysis
+from repro.lint.analyses.common import Analysis
+from repro.lint.analyses.determinism import DeepDeterminismAnalysis
+from repro.lint.analyses.lifecycle import ArenaLifecycleAnalysis
+from repro.lint.analyses.lock_order import LockOrderAnalysis
+from repro.lint.callgraph import build_project
+from repro.lint.core import Finding, filter_suppressed, iter_python_files
+from repro.lint.flow import compute_lock_flow
+
+__all__ = [
+    "ALL_ANALYSES",
+    "Analysis",
+    "analysis_descriptions",
+    "resolve_analyses",
+    "run_deep",
+]
+
+ALL_ANALYSES: Tuple[Type[Analysis], ...] = (
+    LockOrderAnalysis,
+    AsyncBlockingAnalysis,
+    ArenaLifecycleAnalysis,
+    DeepDeterminismAnalysis,
+)
+
+
+def analysis_descriptions() -> Dict[str, str]:
+    """Analysis name -> one-line description (``lint --list-rules``)."""
+    return {a.name: a.description for a in ALL_ANALYSES}
+
+
+def resolve_analyses(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    known_rules: Sequence[str] = (),
+) -> List[Type[Analysis]]:
+    """The analyses to run after ``--select``/``--ignore``.
+
+    Names belonging to per-file rules (``known_rules``) are someone
+    else's to validate; anything else unknown is an error here.
+    """
+    by_name = {a.name: a for a in ALL_ANALYSES}
+    for names in (select, ignore):
+        unknown = set(names or ()) - set(by_name) - set(known_rules)
+        if unknown:
+            raise ValidationError(
+                f"unknown lint rule(s): {', '.join(sorted(unknown))}; "
+                "known rules: "
+                f"{', '.join(sorted(set(by_name) | set(known_rules)))}"
+            )
+    chosen = set(select) if select else set(by_name)
+    ignored = set(ignore or ())
+    return [
+        by_name[n] for n in by_name if n in chosen and n not in ignored
+    ]
+
+
+def run_deep(
+    paths: Sequence["Path | str"],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    known_rules: Sequence[str] = (),
+    cache_dir: Optional[Path] = None,
+) -> List[Finding]:
+    """Run the whole-program analyses over every ``.py`` under
+    ``paths``; suppressions already honored."""
+    analyses = resolve_analyses(select, ignore, known_rules)
+    if not analyses:
+        return []
+    files = iter_python_files(paths)
+    project, graph = build_project(files, cache_dir=cache_dir)
+    flow = compute_lock_flow(project, graph)
+    findings: List[Finding] = []
+    for analysis_cls in analyses:
+        findings.extend(analysis_cls().run(project, graph, flow))
+    out: List[Finding] = []
+    by_path: Dict[str, List[Finding]] = {}
+    for f in findings:
+        by_path.setdefault(f.path, []).append(f)
+    for path, batch in by_path.items():
+        info = project.modules_by_path.get(path)
+        if info is None:
+            out.extend(batch)
+        else:
+            out.extend(filter_suppressed(batch, info.source, info.tree))
+    return sorted(set(out))

@@ -1,0 +1,120 @@
+"""Async-safety analysis: blocking work reachable from coroutines.
+
+The cluster frontend runs an asyncio event loop on a background thread;
+every coroutine scheduled on it shares that single thread.  One
+synchronous ``Future.result()``, ``Thread.join()``, ``time.sleep()``,
+pipe ``send``/``recv``/``poll``, or ranked-lock acquisition anywhere in
+a coroutine's *synchronous* call tree stalls every in-flight request at
+once — the whole point of the ``run_in_executor`` seam in
+``service/cluster/frontend.py``.
+
+The analysis takes every ``async def`` in the project as a root and
+walks forward over call-graph edges.  Two properties make the walk
+sound for this codebase:
+
+* :mod:`repro.lint.callgraph` creates **no edge for callables passed as
+  arguments**, so ``loop.run_in_executor(None, self.cluster.batch)``
+  correctly does *not* drag the blocking cluster path into the
+  coroutine's tree — handing work to the executor is the sanctioned
+  fix, not a finding.
+* Calls directly under ``await`` are skipped — ``await
+  asyncio.sleep(...)`` suspends, it does not block.
+
+Findings in the coroutine itself point at the offending call; findings
+deeper in the tree carry the BFS witness chain back to the coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.analyses.common import (
+    Analysis,
+    awaited_call_ids,
+    bfs_parents,
+    blocking_label,
+    chain_from_roots,
+    iter_function_calls,
+)
+from repro.lint.callgraph import CallGraph, Project, dotted_name
+from repro.lint.core import Finding
+from repro.lint.flow import LockFlow
+
+__all__ = ["AsyncBlockingAnalysis"]
+
+#: the per-file blocking set, extended with lock/semaphore acquisition
+#: and the multiprocessing pipe surface
+_METHODS = {"join", "result", "wait", "sleep", "acquire",
+            "send", "recv", "poll", "send_bytes", "recv_bytes"}
+_FUNCTIONS = {"open", "sleep"}
+
+#: receivers whose .send/.wait/... are asyncio-native, not blocking
+_ASYNC_RECEIVERS = {"asyncio", "loop", "self.loop", "writer", "app"}
+
+
+class AsyncBlockingAnalysis(Analysis):
+    name = "async-blocking"
+    description = (
+        "a synchronous blocking operation (Future.result, Thread.join, "
+        "sleep, pipe I/O, ranked-lock acquisition) is reachable from an "
+        "async def coroutine — it stalls the whole event loop, not one "
+        "request"
+    )
+    motivation = (
+        "the frontend's health and stats handlers called straight into "
+        "coordinator methods that take replica and counter locks on the "
+        "event-loop thread; one slow replica froze every concurrent "
+        "request, including the health probe meant to detect it"
+    )
+
+    def run(self, project: Project, graph: CallGraph,
+            flow: LockFlow) -> List[Finding]:
+        roots = [q for q, fn in project.functions.items() if fn.is_async]
+        if not roots:
+            return []
+        parents = bfs_parents(graph, roots)
+        findings: List[Finding] = []
+        for qname in sorted(parents):
+            fn = project.functions.get(qname)
+            if fn is None:
+                continue
+            awaited = awaited_call_ids(fn) if fn.is_async else set()
+            suffix = "" if fn.is_async else (
+                "; reachable from coroutine via "
+                + chain_from_roots(parents, qname)
+            )
+            for call in iter_function_calls(fn):
+                if id(call) in awaited:
+                    continue
+                label = blocking_label(call, _METHODS, _FUNCTIONS)
+                if label is None or self._async_native(call):
+                    continue
+                findings.append(self.finding(
+                    fn, call,
+                    f"blocking call '{label}' on the event-loop thread"
+                    f"{suffix}; run it in an executor instead",
+                ))
+            for acq in flow.locals_of(qname).acquisitions:
+                if acq.lock.rank is None:
+                    continue
+                findings.append(self.finding(
+                    fn, acq.node,
+                    f"acquires ranked lock '{acq.lock.name}' (rank "
+                    f"{acq.lock.rank}) on the event-loop thread"
+                    f"{suffix}; ranked locks block — take them on an "
+                    "executor thread",
+                ))
+        return findings
+
+    @staticmethod
+    def _async_native(call: ast.Call) -> bool:
+        """asyncio's own API surface is suspension, not blocking."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        receiver: Optional[str] = dotted_name(func.value)
+        return receiver is not None and (
+            receiver in _ASYNC_RECEIVERS
+            or receiver.split(".")[-1] in ("loop", "asyncio")
+        )

@@ -1,0 +1,194 @@
+"""Shared machinery for the whole-program analyses.
+
+An :class:`Analysis` is the cross-module counterpart of the per-file
+:class:`repro.lint.core.Rule`: same ``name``/``description`` contract,
+same :class:`~repro.lint.core.Finding` output (so the reporters,
+suppression comments, and baseline treat both uniformly), but ``run``
+receives the whole :class:`~repro.lint.callgraph.Project` + call graph +
+lock flow instead of one file's AST.
+
+The helpers here are the idioms every analysis needs: walking one
+function body without descending into nested ``def``s (a nested function
+runs later, on someone else's stack), classifying blocking calls, and
+BFS witness chains through the call graph — forward from roots
+("reachable from coroutine A via B:42") and backward to sinks ("feeds
+RunResult via solve:88").
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, FunctionInfo, Project
+from repro.lint.core import Finding
+from repro.lint.flow import LockFlow
+
+__all__ = [
+    "Analysis",
+    "BLOCKING_FUNCTIONS",
+    "BLOCKING_METHODS",
+    "awaited_call_ids",
+    "bfs_parents",
+    "bfs_toward_sinks",
+    "blocking_label",
+    "chain_from_roots",
+    "chain_to_sink",
+    "iter_function_calls",
+]
+
+#: method names that block the calling thread (matches the per-file
+#: ``lock-blocking-call`` rule; the async analysis extends this set)
+BLOCKING_METHODS = {"join", "result", "wait", "sleep"}
+#: bare-function spellings of the same
+BLOCKING_FUNCTIONS = {"open", "sleep"}
+
+
+class Analysis:
+    """One whole-program checker."""
+
+    name: str = ""
+    description: str = ""
+    #: the motivating-bug text, shared verbatim with docs/linting.md
+    motivation: str = ""
+
+    def run(self, project: Project, graph: CallGraph,
+            flow: LockFlow) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, fn: FunctionInfo, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            path=fn.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# AST walking
+# ----------------------------------------------------------------------
+def iter_function_calls(fn: FunctionInfo) -> Iterator[ast.Call]:
+    """Every ``ast.Call`` in ``fn``'s own body (nested defs excluded)."""
+    stack: List[ast.AST] = list(getattr(fn.node, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def awaited_call_ids(fn: FunctionInfo) -> Set[int]:
+    """ids of Call nodes directly under ``await`` — they suspend, they
+    do not block."""
+    out: Set[int] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Await) and isinstance(
+            node.value, ast.Call
+        ):
+            out.add(id(node.value))
+    return out
+
+
+def blocking_label(
+    call: ast.Call,
+    methods: Optional[Set[str]] = None,
+    functions: Optional[Set[str]] = None,
+) -> Optional[str]:
+    """A short ``x.result()``-style label when ``call`` blocks, else
+    None."""
+    methods = BLOCKING_METHODS if methods is None else methods
+    functions = BLOCKING_FUNCTIONS if functions is None else functions
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in methods:
+        return f".{func.attr}()"
+    if isinstance(func, ast.Name) and func.id in functions:
+        return f"{func.id}()"
+    return None
+
+
+# ----------------------------------------------------------------------
+# witness chains
+# ----------------------------------------------------------------------
+def bfs_parents(
+    graph: CallGraph, roots: Sequence[str]
+) -> Dict[str, Optional[Tuple[str, int]]]:
+    """BFS forward from ``roots``: fn -> (caller, call line), None for
+    roots.  Membership in the result *is* forward reachability."""
+    parents: Dict[str, Optional[Tuple[str, int]]] = {
+        r: None for r in roots
+    }
+    queue = deque(roots)
+    while queue:
+        f = queue.popleft()
+        for site in graph.sites.get(f, ()):
+            for callee in site.callees:
+                if callee not in parents:
+                    parents[callee] = (f, site.node.lineno)
+                    queue.append(callee)
+    return parents
+
+
+def chain_from_roots(
+    parents: Dict[str, Optional[Tuple[str, int]]], fn: str,
+    limit: int = 6,
+) -> str:
+    """``root -> mid:42 -> fn`` for a forward BFS parent map."""
+    parts: List[str] = [fn]
+    cur = parents.get(fn)
+    while cur is not None and len(parts) < limit:
+        caller, line = cur
+        parts.append(f"{caller}:{line}")
+        cur = parents.get(caller)
+    return " -> ".join(reversed(parts))
+
+
+def bfs_toward_sinks(
+    graph: CallGraph, sinks: Sequence[str]
+) -> Dict[str, Optional[Tuple[str, int]]]:
+    """BFS backward from ``sinks``: fn -> (next callee toward a sink,
+    call line), None for sinks.  Membership *is* reverse reachability."""
+    toward: Dict[str, Optional[Tuple[str, int]]] = {
+        s: None for s in sinks
+    }
+    queue = deque(sinks)
+    while queue:
+        g = queue.popleft()
+        for caller in graph.callers.get(g, ()):
+            if caller in toward:
+                continue
+            line = next(
+                (
+                    s.node.lineno
+                    for s in graph.sites.get(caller, ())
+                    if g in s.callees
+                ),
+                0,
+            )
+            toward[caller] = (g, line)
+            queue.append(caller)
+    return toward
+
+
+def chain_to_sink(
+    toward: Dict[str, Optional[Tuple[str, int]]], fn: str,
+    limit: int = 6,
+) -> str:
+    """``fn:12 -> mid:34 -> sink`` for a backward BFS map."""
+    parts: List[str] = []
+    cur: Optional[str] = fn
+    while cur is not None and len(parts) < limit:
+        step = toward.get(cur)
+        if step is None:
+            parts.append(cur)
+            break
+        callee, line = step
+        parts.append(f"{cur}:{line}" if line else cur)
+        cur = callee
+    return " -> ".join(parts)

@@ -1,0 +1,212 @@
+"""Determinism analysis: unordered iteration and unseeded randomness on
+paths that feed result values.
+
+The paper's core guarantee is *byte-identical* postmortem answers: the
+same run must produce the same ``RunResult`` values and the same
+rank-store bytes every time, on every executor.  Two defect classes
+break that silently:
+
+* iterating a ``set``/``frozenset`` — element order depends on hash
+  seeding and insertion history, so any accumulation, concatenation, or
+  write driven by the iteration order differs between runs while every
+  individual element is "correct";
+* drawing from an unseeded RNG.
+
+The per-file ``unseeded-rng`` rule is scoped to kernels and benchmarks;
+this analysis instead asks *where the data goes*: it marks every
+function that constructs a :class:`RunResult`/:class:`WindowResult` or
+writes rank-store bytes (``write_window``/``write_store``) as a sink,
+then walks the call graph in *both* directions from the sinks — callers
+compute the arguments handed down into a sink, callees compute the
+values a sink packages up — and flags unordered iteration or unseeded
+draws anywhere in that neighborhood, with the witness chain showing the
+path the tainted order travels.
+``sorted(...)`` around the iterable defuses the finding, which is also
+the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.analyses.common import (
+    Analysis,
+    bfs_parents,
+    bfs_toward_sinks,
+    chain_from_roots,
+    chain_to_sink,
+)
+from repro.lint.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    Project,
+    dotted_name,
+)
+from repro.lint.core import Finding
+from repro.lint.flow import LockFlow
+
+__all__ = ["DeepDeterminismAnalysis"]
+
+#: constructors / writers whose inputs become result values or bytes
+_SINK_CONSTRUCTORS = {"RunResult", "WindowResult"}
+_SINK_METHODS = {"write_window"}
+_SINK_FUNCTIONS = {"write_store"}
+
+#: numpy legacy global-state draws (mirrors the per-file rule)
+_NP_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal",
+    "poisson", "exponential", "binomial", "sample",
+}
+#: stdlib random module draws
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate",
+}
+
+
+def _is_sink_call(call: ast.Call) -> bool:
+    func = call.func
+    name = dotted_name(func)
+    base = name.split(".")[-1] if name else None
+    if base in _SINK_CONSTRUCTORS or base in _SINK_FUNCTIONS:
+        return True
+    return isinstance(func, ast.Attribute) and func.attr in _SINK_METHODS
+
+
+class DeepDeterminismAnalysis(Analysis):
+    name = "deep-determinism"
+    description = (
+        "iteration over an unordered set, or an unseeded RNG draw, on a "
+        "call path that feeds RunResult values or rank-store bytes — "
+        "each run produces different, individually-plausible output"
+    )
+    motivation = (
+        "a driver accumulated per-window contributions by iterating a "
+        "set of pending windows; every run wrote a valid rank store, no "
+        "two runs wrote the same bytes, and the postmortem byte-equality "
+        "check could never say which one was right"
+    )
+
+    def run(self, project: Project, graph: CallGraph,
+            flow: LockFlow) -> List[Finding]:
+        sinks = [
+            qname for qname, fn in project.functions.items()
+            if any(
+                _is_sink_call(c)
+                for c in ast.walk(fn.node)
+                if isinstance(c, ast.Call)
+            )
+        ]
+        if not sinks:
+            return []
+        # data reaches a sink from both directions: callers compute the
+        # arguments handed down to it, callees compute the values it
+        # packages up — a set-iteration in either feeds the result
+        toward = bfs_toward_sinks(graph, sinks)
+        beneath = bfs_parents(graph, sinks)
+        findings: List[Finding] = []
+        for qname in sorted(set(toward) | set(beneath)):
+            fn = project.functions.get(qname)
+            if fn is None:
+                continue
+            if qname in toward:
+                suffix = "; feeds result values via " + chain_to_sink(
+                    toward, qname
+                ) if toward[qname] is not None else ""
+            else:
+                suffix = (
+                    "; computes values beneath result construction via "
+                    + chain_from_roots(beneath, qname)
+                )
+            set_vars = self._set_vars(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.For, ast.comprehension)):
+                    label = self._unordered_label(node.iter, set_vars)
+                    if label is not None:
+                        anchor = node if isinstance(node, ast.For) \
+                            else node.iter
+                        findings.append(self.finding(
+                            fn, anchor,
+                            f"iterates over unordered {label}; element "
+                            "order varies between runs"
+                            f"{suffix} — wrap the iterable in sorted()",
+                        ))
+                elif isinstance(node, ast.Call):
+                    message = self._unseeded_message(node)
+                    if message is not None:
+                        findings.append(self.finding(
+                            fn, node, message + suffix,
+                        ))
+        return findings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set_vars(fn: FunctionInfo) -> Set[str]:
+        """Locals bound to set-typed values anywhere in the function."""
+        out: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_set = isinstance(value, (ast.Set, ast.SetComp))
+            if not is_set and isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                is_set = name is not None and name.split(".")[-1] in (
+                    "set", "frozenset"
+                )
+            if is_set:
+                out.update(
+                    t.id for t in node.targets
+                    if isinstance(t, ast.Name)
+                )
+        return out
+
+    @staticmethod
+    def _unordered_label(iter_expr: ast.AST,
+                         set_vars: Set[str]) -> Optional[str]:
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+            return "set literal"
+        if isinstance(iter_expr, ast.Call):
+            name = dotted_name(iter_expr.func)
+            base = name.split(".")[-1] if name else None
+            if base in ("set", "frozenset"):
+                return f"{base}(...)"
+            return None
+        if isinstance(iter_expr, ast.Name) and iter_expr.id in set_vars:
+            return f"set '{iter_expr.id}'"
+        return None
+
+    @staticmethod
+    def _unseeded_message(call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) >= 3 and parts[0] in ("np", "numpy") and \
+                parts[-2] == "random":
+            leaf = parts[-1]
+            if leaf in _NP_LEGACY:
+                return (
+                    f"global-state RNG call '{name}' on a result-feeding "
+                    "path; use a seeded np.random.default_rng(seed)"
+                )
+            if leaf == "default_rng" and (
+                not call.args or (
+                    isinstance(call.args[0], ast.Constant)
+                    and call.args[0].value is None
+                )
+            ) and not call.keywords:
+                return (
+                    "np.random.default_rng() without a seed on a "
+                    "result-feeding path; pass an explicit seed"
+                )
+        if len(parts) == 2 and parts[0] == "random" and \
+                parts[1] in _STDLIB_RANDOM:
+            return (
+                f"unseeded stdlib RNG call '{name}' on a result-feeding "
+                "path; use random.Random(seed) or a seeded numpy "
+                "generator"
+            )
+        return None

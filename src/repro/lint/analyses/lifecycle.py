@@ -1,0 +1,354 @@
+"""Shared-memory / mmap lifecycle analysis.
+
+The arena protocol (:mod:`repro.parallel.shared_arena`) has a strict
+lifecycle: the parent *creates* and eventually *unlinks* a segment,
+workers *attach*, and every ``shared_view``/``np.memmap`` array is a
+borrowed pointer into pages that vanish when the segment goes away.
+The per-file ``mmap-escape`` rule catches a view returned from the
+function that created it; this analysis sees the shapes one function
+cannot:
+
+* **use-after-close** — a view variable is used (returned, stored,
+  passed on) at a program point *after* its source object's
+  ``close()``/``unlink()``/``destroy()`` ran in the same function.
+  This is PR 1's segfault class, caught statically.
+
+* **transitive view escape** — ``f`` returns the result of ``g``, and
+  ``g`` (possibly through more calls) returns a raw
+  ``shared_view``/``np.memmap`` array.  The per-file rule sees ``g``;
+  only the call graph sees that ``f`` re-exports the borrowed pointer
+  another frame outward.  Function summaries (``returns_view``)
+  propagate through the graph by fixpoint; a ``np.array``/``copy``
+  wrapper defuses the escape, and sanctioned accessors (the arena's own
+  ``shared_view``) participate in summaries without themselves being
+  findings.
+
+* **unclosed local segment** — a ``SharedArena(...)`` or
+  ``SharedMemory(create=True)`` bound to a local that is never closed,
+  returned, stored, or passed to anything leaks a ``/dev/shm`` segment
+  on every call: nobody else can possibly clean up what nobody else can
+  reach.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.analyses.common import Analysis
+from repro.lint.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    Project,
+    dotted_name,
+)
+from repro.lint.core import Finding
+from repro.lint.flow import LockFlow
+
+__all__ = ["ArenaLifecycleAnalysis"]
+
+#: trailing call names whose result borrows externally-owned pages
+_VIEW_CALLS = {"shared_view", "memmap"}
+#: call names constructing objects that own a shm segment
+_SEGMENT_CTORS = {"SharedArena", "SharedMemory"}
+#: methods that end an object's lifetime
+_CLOSERS = {"close", "unlink", "destroy"}
+#: copying wrappers that defuse an escape (matches mmap-escape)
+_SAFE_CALLS = {"array", "ascontiguousarray", "copy", "deepcopy"}
+
+
+def _call_basename(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    return name.split(".")[-1] if name else None
+
+
+class ArenaLifecycleAnalysis(Analysis):
+    name = "arena-lifecycle"
+    description = (
+        "a shared-memory view is used after its arena closed, escapes "
+        "through a second return frame the per-file mmap-escape rule "
+        "cannot see, or a locally-created segment is never closed"
+    )
+    motivation = (
+        "a helper returned its caller's shared_view result verbatim; "
+        "the per-file taint saw a clean function returning 'a numpy "
+        "array', the process saw SIGSEGV when the coordinator unlinked "
+        "the segment mid-query"
+    )
+
+    def run(self, project: Project, graph: CallGraph,
+            flow: LockFlow) -> List[Finding]:
+        returns_view = self._view_summaries(project, graph)
+        findings: List[Finding] = []
+        for qname, fn in sorted(project.functions.items()):
+            findings.extend(self._check_use_after_close(fn))
+            findings.extend(
+                self._check_transitive_escape(
+                    project, graph, fn, returns_view
+                )
+            )
+            findings.extend(self._check_unclosed_segment(fn))
+        return findings
+
+    # ------------------------------------------------------------------
+    # summaries: which functions (transitively) return raw views
+    # ------------------------------------------------------------------
+    def _returns_view_locally(self, fn: FunctionInfo) -> bool:
+        view_vars = self._view_vars(fn)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) and \
+                    _call_basename(value) in _VIEW_CALLS:
+                return True
+            if isinstance(value, ast.Name) and value.id in view_vars:
+                return True
+        return False
+
+    def _view_summaries(self, project: Project,
+                        graph: CallGraph) -> Set[str]:
+        summaries = {
+            q for q, fn in project.functions.items()
+            if self._returns_view_locally(fn)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qname, fn in project.functions.items():
+                if qname in summaries:
+                    continue
+                if self._returned_view_call(graph, fn, summaries):
+                    summaries.add(qname)
+                    changed = True
+        return summaries
+
+    @staticmethod
+    def _returned_view_call(graph: CallGraph, fn: FunctionInfo,
+                            summaries: Set[str]) -> Optional[ast.Return]:
+        """The ``return g(...)`` statement whose callee returns a view."""
+        site_by_id = {
+            id(s.node): s for s in graph.sites.get(fn.qname, ())
+        }
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Return) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            if _call_basename(call) in _SAFE_CALLS:
+                continue
+            site = site_by_id.get(id(call))
+            if site and any(c in summaries for c in site.callees):
+                return node
+        return None
+
+    def _check_transitive_escape(
+        self, project: Project, graph: CallGraph, fn: FunctionInfo,
+        summaries: Set[str],
+    ) -> List[Finding]:
+        # only the *transitive* frame is new information: a function
+        # that itself builds the view belongs to the per-file rule
+        if self._returns_view_locally(fn):
+            return []
+        node = self._returned_view_call(graph, fn, summaries)
+        if node is None:
+            return []
+        call = node.value
+        assert isinstance(call, ast.Call)
+        callee = next(
+            (
+                c
+                for s in graph.sites.get(fn.qname, ())
+                if s.node is call
+                for c in s.callees
+                if c in summaries
+            ),
+            dotted_name(call.func) or "<call>",
+        )
+        return [self.finding(
+            fn, node,
+            f"returns the result of '{callee}', which returns a raw "
+            "shared-memory/mmap view; the borrowed pages escape another "
+            "frame outward — copy with np.array(..., copy=True) before "
+            "returning",
+        )]
+
+    # ------------------------------------------------------------------
+    # use-after-close
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _view_vars(fn: FunctionInfo) -> Dict[str, str]:
+        """local view var -> the local var it borrows from (itself for
+        direct np.memmap results)."""
+        out: Dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            base = _call_basename(node.value)
+            if base not in _VIEW_CALLS:
+                continue
+            func = node.value.func
+            source: Optional[str] = None
+            if base == "shared_view" and isinstance(
+                func, ast.Attribute
+            ) and isinstance(func.value, ast.Name):
+                source = func.value.id
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = source or target.id
+        return out
+
+    def _check_use_after_close(self, fn: FunctionInfo) -> List[Finding]:
+        views = self._view_vars(fn)
+        # owners: view sources plus directly-created arenas/segments
+        owners: Set[str] = set(views.values())
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                base = _call_basename(node.value)
+                if base in _SEGMENT_CTORS or base == "attach_arena":
+                    owners.update(
+                        t.id for t in node.targets
+                        if isinstance(t, ast.Name)
+                    )
+        if not owners:
+            return []
+
+        def closes_in(stmt: ast.stmt) -> Set[str]:
+            out: Set[str] = set()
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CLOSERS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in owners
+                ):
+                    out.add(node.func.value.id)
+            return out
+
+        findings: List[Finding] = []
+        reported: Set[int] = set()
+
+        def scan_block(body: List[ast.stmt]) -> None:
+            # straight-line only: a close in a conditional branch does
+            # not poison the outer block (the branch usually returns)
+            closed: Set[str] = set()
+            for stmt in body:
+                if closed:
+                    for node in ast.walk(stmt):
+                        if not isinstance(node, ast.Name) or \
+                                not isinstance(node.ctx, ast.Load):
+                            continue
+                        owner = views.get(node.id) or (
+                            node.id if node.id in closed else None
+                        )
+                        if owner not in closed or id(node) in reported:
+                            continue
+                        reported.add(id(node))
+                        what = "view" if node.id in views else "segment"
+                        findings.append(self.finding(
+                            fn, node,
+                            f"{what} '{node.id}' used after "
+                            f"'{owner}.close()'; the mapping is gone — "
+                            "copy the data out before closing, or "
+                            "reorder the teardown",
+                        ))
+                direct = closes_in(stmt) if not isinstance(
+                    stmt, (ast.If, ast.Try, ast.For, ast.While,
+                           ast.With, ast.AsyncWith, ast.FunctionDef,
+                           ast.AsyncFunctionDef, ast.ClassDef)
+                ) else set()
+                closed |= direct
+                for child_body in self._child_blocks(stmt):
+                    scan_block(child_body)
+
+        scan_block(list(getattr(fn.node, "body", [])))
+        return findings
+
+    @staticmethod
+    def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return []
+        blocks: List[List[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            body = getattr(stmt, attr, None)
+            if isinstance(body, list) and body and isinstance(
+                body[0], ast.stmt
+            ):
+                blocks.append(body)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    # ------------------------------------------------------------------
+    # unclosed local segments
+    # ------------------------------------------------------------------
+    def _check_unclosed_segment(self, fn: FunctionInfo) -> List[Finding]:
+        created: Dict[str, ast.Assign] = {}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            base = _call_basename(node.value)
+            if base not in _SEGMENT_CTORS:
+                continue
+            if base == "SharedMemory" and not any(
+                kw.arg == "create" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.value.keywords
+            ):
+                continue  # attach-side SharedMemory is not an owner
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    created[target.id] = node
+        if not created:
+            return []
+        escaped: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CLOSERS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    escaped.add(node.func.value.id)
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(node, "value", None)
+                for sub in ast.walk(value) if value is not None else ():
+                    if isinstance(sub, ast.Name):
+                        escaped.add(sub.id)
+            elif isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Name):
+                    escaped.add(node.value.id)  # aliased: alias owns it
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        for sub in ast.walk(node.value):
+                            if isinstance(sub, ast.Name):
+                                escaped.add(sub.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        if isinstance(sub, ast.Name):
+                            escaped.add(sub.id)
+        return [
+            self.finding(
+                fn, created[name],
+                f"shared-memory segment '{name}' is created here but "
+                "never closed, unlinked, returned, or handed off — the "
+                "/dev/shm segment leaks on every call",
+            )
+            for name in sorted(created)
+            if name not in escaped
+        ]

@@ -1,0 +1,105 @@
+"""Static lock-order analysis over the whole call graph.
+
+:class:`repro.sanitize.OrderedLock` enforces the service-layer lock
+hierarchy *dynamically*: acquiring a lock whose rank is not strictly
+greater than the highest rank already held raises ``LockOrderError`` —
+but only on the execution path that actually runs.  This analysis proves
+the same property statically, before any test exercises the path:
+
+* **Rank inversion** — at every ``with <ordered lock>:`` site, every
+  lock that *may* already be held (locally enclosing ``with`` blocks,
+  plus the interprocedural entry set from
+  :func:`repro.lint.flow.compute_lock_flow`) must have strictly lower
+  rank.  Equal rank included: ordered locks are not reentrant, so
+  re-acquiring the same rank self-deadlocks just as surely.
+
+* **Blocking call under a caller's lock** — the per-file
+  ``lock-blocking-call`` rule sees ``with self._lock: t.join()``; it
+  cannot see the caller that holds the lock when the ``join`` lives one
+  frame deeper.  This check flags blocking calls in functions whose
+  entry set is non-empty, and leaves the same-frame case to the
+  per-file rule so each finding is reported exactly once.
+
+Both messages carry the witness chain ("acquired via A:10 -> B:42") so
+a report far from the acquisition still shows the path that creates it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.analyses.common import (
+    Analysis,
+    Finding,
+    blocking_label,
+    iter_function_calls,
+)
+from repro.lint.callgraph import CallGraph, Project
+from repro.lint.flow import LockFlow
+
+__all__ = ["LockOrderAnalysis"]
+
+
+class LockOrderAnalysis(Analysis):
+    name = "lock-order"
+    description = (
+        "a rank-ordered lock may be acquired while an equal- or "
+        "higher-ranked lock is already held somewhere up the call "
+        "chain, or a blocking call runs under a caller's lock — the "
+        "static form of sanitize.LockOrderError"
+    )
+    motivation = (
+        "the coordinator's health loop held the replica lock while "
+        "calling into code that took the state lock — a rank inversion "
+        "the dynamic OrderedLock only catches on the path that actually "
+        "deadlocks under load, and only at runtime"
+    )
+
+    def run(self, project: Project, graph: CallGraph,
+            flow: LockFlow) -> List[Finding]:
+        findings: List[Finding] = []
+        for qname, fn in project.functions.items():
+            locks = flow.locals_of(qname)
+            entry = flow.entry_held.get(qname, {})
+            for acq in locks.acquisitions:
+                if acq.lock.rank is None:
+                    continue
+                # local inversion: enclosing with-blocks in this frame
+                for held in acq.held_before:
+                    if held.rank is not None and \
+                            held.rank >= acq.lock.rank:
+                        findings.append(self.finding(
+                            fn, acq.node,
+                            f"acquires '{acq.lock.name}' (rank "
+                            f"{acq.lock.rank}) while already holding "
+                            f"'{held.name}' (rank {held.rank}); lock "
+                            "ranks must be strictly increasing",
+                        ))
+                # interprocedural inversion: a caller may hold it
+                for held in entry.values():
+                    if held.lock.rank is not None and \
+                            held.lock.rank >= acq.lock.rank:
+                        findings.append(self.finding(
+                            fn, acq.node,
+                            f"acquires '{acq.lock.name}' (rank "
+                            f"{acq.lock.rank}) while a caller may hold "
+                            f"{held.describe()}; lock ranks must be "
+                            "strictly increasing along every call chain",
+                        ))
+            if entry:
+                witnesses = sorted(
+                    entry.values(),
+                    key=lambda h: (-(h.lock.rank or 0), h.lock.owner),
+                )
+                for call in iter_function_calls(fn):
+                    label = blocking_label(call)
+                    if label is None:
+                        continue
+                    findings.append(self.finding(
+                        fn, call,
+                        f"blocking call '{label}' while a caller may "
+                        f"hold {witnesses[0].describe()}; release the "
+                        "lock before calling in, or hoist the blocking "
+                        "call out",
+                    ))
+        return findings

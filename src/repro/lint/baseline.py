@@ -1,0 +1,161 @@
+"""The accepted-findings baseline for ``lint --deep``.
+
+Whole-program analyses are *may*-analyses: some findings describe paths
+that cannot happen for reasons only a human can certify (a lock taken
+in a branch the callee never reaches, a set whose iteration order is
+washed out by a later reduction).  Rather than weaken the analyses or
+scatter inline suppressions through code that is not wrong, such
+findings are recorded once in a committed baseline file
+(``lint-baseline.json``) with a written reason each — CI fails on any
+finding *not* in the baseline, and reports baseline entries that no
+longer match anything so the file cannot rot.
+
+Matching is deliberately line-number-free: a finding matches an entry
+when the rule matches, the message matches exactly, and one path is a
+suffix of the other (so absolute vs. repo-relative invocations agree).
+Unrelated edits that merely move code therefore do not invalidate the
+baseline, while any change to what the analysis actually reports does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.lint.core import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: schema version of the baseline document
+BASELINE_VERSION = 1
+
+#: the committed file ``--deep`` picks up automatically
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: identity minus the line number."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule or finding.message != self.message:
+            return False
+        a = Path(finding.path).as_posix()
+        b = Path(self.path).as_posix()
+        return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: str = ""
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: "Path | str") -> Baseline:
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValidationError(f"cannot read baseline {p}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"baseline {p} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or "entries" not in doc:
+        raise ValidationError(
+            f"baseline {p} must be an object with an 'entries' list"
+        )
+    entries: List[BaselineEntry] = []
+    for i, raw in enumerate(doc["entries"]):
+        if not isinstance(raw, dict) or not {"rule", "path",
+                                             "message"} <= set(raw):
+            raise ValidationError(
+                f"baseline {p} entry {i} needs rule/path/message keys"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                reason=str(raw.get("reason", "")),
+            )
+        )
+    return Baseline(entries=entries, path=str(p))
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(kept, matched_count, stale_entries)``: findings not
+    covered by any entry, how many were covered, and entries that
+    covered nothing (candidates for deletion).
+    """
+    kept: List[Finding] = []
+    used = [False] * len(baseline.entries)
+    matched = 0
+    for finding in findings:
+        hit = False
+        for i, entry in enumerate(baseline.entries):
+            if entry.matches(finding):
+                used[i] = True
+                hit = True
+        if hit:
+            matched += 1
+        else:
+            kept.append(finding)
+    stale = [e for i, e in enumerate(baseline.entries) if not used[i]]
+    return kept, matched, stale
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    path: "Path | str",
+    reason: str = "accepted by --write-baseline; add a per-entry reason",
+) -> Baseline:
+    """Record ``findings`` as the new baseline at ``path``."""
+    seen: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for f in sorted(findings):
+        key = (f.rule, Path(f.path).as_posix(), f.message)
+        if key not in seen:
+            seen[key] = BaselineEntry(
+                rule=key[0], path=key[1], message=key[2], reason=reason
+            )
+    baseline = Baseline(entries=list(seen.values()), path=str(path))
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "message": e.message,
+                "reason": e.reason,
+            }
+            for e in baseline.entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+    return baseline

@@ -1,0 +1,755 @@
+"""Project-wide symbol table and call graph for the deep analyses.
+
+The per-file rules (:mod:`repro.lint.rules`) see one AST at a time; the
+whole-program analyses (:mod:`repro.lint.analyses`) need to answer
+questions that span modules — "which locks may be held when this
+function runs?", "is this blocking call reachable from a coroutine?",
+"does this function transitively return a shared-memory view?".  This
+module builds the shared substrate once per run:
+
+* a :class:`Project`: every ``.py`` file parsed once, modules named by
+  walking the ``__init__.py`` chain, imports resolved to qualified
+  names, module-level integer constants collected (so lock *ranks*
+  spelled as ``LOCK_RANK_*`` symbols from :mod:`repro.sanitize` resolve
+  to comparable numbers);
+* per-class metadata: methods, base classes, attribute types inferred
+  from ``self.x = ClassName(...)`` and annotated constructor parameters,
+  and lock attributes created by ``make_lock``/``OrderedLock``/
+  ``threading.Lock``;
+* a :class:`CallGraph`: one :class:`CallSite` per ``ast.Call`` whose
+  callee resolves to a project function, via direct names, module
+  aliases, ``self.method``, ``self.attr.method`` and typed locals.
+  Callables *passed as arguments* (e.g. ``loop.run_in_executor(None,
+  fn)``) deliberately do **not** create edges — they run on another
+  thread, which is exactly the boundary the async-safety analysis needs
+  respected.
+
+Resolution is deliberately conservative: an attribute call on a receiver
+whose class is unknown produces no edge (analyses stay quiet) rather
+than a guessed edge (analyses cry wolf).
+
+Because the build is pure parsing, it caches cleanly:
+:func:`build_project` keys a pickle on the sha256 of every source file,
+so an unchanged tree loads the symbol table + call graph in
+milliseconds (the CI ``lint-deep`` job relies on this).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import logging
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "LockInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "module_name_for",
+]
+
+logger = logging.getLogger(__name__)
+
+#: bump to invalidate cached pickles when the build logic changes
+CACHE_VERSION = 1
+
+#: constructors that create lock objects; value = whether rank-ordered
+_LOCK_CONSTRUCTORS = {"make_lock": True, "OrderedLock": True,
+                      "Lock": False, "RLock": False}
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain.
+
+    ``src/repro/service/engine.py`` -> ``repro.service.engine``;
+    a file outside any package is just its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+@dataclass
+class LockInfo:
+    """One lock object the project creates.
+
+    ``rank`` is the resolved integer rank for ordered locks
+    (``make_lock``/``OrderedLock``) and ``None`` for plain
+    ``threading.Lock``/``RLock`` — held but unordered.
+    """
+
+    name: str                 # display name ("replica-0.1", "_lock", ...)
+    rank: Optional[int]
+    owner: str                # qualified owner ("mod.Class.attr" or "mod.var")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str                # "repro.service.engine.QueryEngine.batch"
+    module: str
+    path: str                 # posix path, as handed to the linter
+    node: ast.AST             # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None  # owning class qname, when a method
+    is_async: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.qname.rsplit(".", 1)[1]
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, inferred attribute types, lock attrs."""
+
+    qname: str
+    module: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)      # qualified, project-internal
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qname
+    attr_types: Dict[str, str] = field(default_factory=dict)  # attr -> class qname
+    attr_locks: Dict[str, LockInfo] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved call: the AST node plus its candidate callees."""
+
+    node: ast.Call
+    callees: Tuple[str, ...]  # function qnames (usually one)
+    dotted: Optional[str]     # source spelling, for messages
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    imports: Dict[str, str] = field(default_factory=dict)   # local -> qualified
+    constants: Dict[str, int] = field(default_factory=dict)  # module ints
+    module_locks: Dict[str, LockInfo] = field(default_factory=dict)
+
+
+class Project:
+    """Every parsed module plus the symbol tables the analyses query."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    # ------------------------------------------------------------------
+    # symbol lookups
+    # ------------------------------------------------------------------
+    def resolve_import(self, module: str, name: str) -> Optional[str]:
+        """The qualified name ``name`` refers to inside ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.imports.get(name)
+
+    def resolve_int(self, module: str, name: str,
+                    _seen: Optional[Set[str]] = None) -> Optional[int]:
+        """Resolve ``name`` in ``module`` to an integer constant, chasing
+        one level of ``from x import NAME`` indirection per hop."""
+        seen = _seen if _seen is not None else set()
+        key = f"{module}:{name}"
+        if key in seen:
+            return None
+        seen.add(key)
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.constants:
+            return info.constants[name]
+        target = info.imports.get(name)
+        if target and "." in target:
+            src_mod, src_name = target.rsplit(".", 1)
+            return self.resolve_int(src_mod, src_name, seen)
+        return None
+
+    def method_of(self, class_qname: str, name: str,
+                  _seen: Optional[Set[str]] = None) -> Optional[str]:
+        """Look up a method qname on a class, walking project bases."""
+        seen = _seen if _seen is not None else set()
+        if class_qname in seen:
+            return None
+        seen.add(class_qname)
+        cls = self.classes.get(class_qname)
+        if cls is None:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            found = self.method_of(base, name, seen)
+            if found:
+                return found
+        return None
+
+    def lock_attr(self, class_qname: str, attr: str,
+                  _seen: Optional[Set[str]] = None) -> Optional[LockInfo]:
+        """Look up a lock attribute on a class, walking project bases."""
+        seen = _seen if _seen is not None else set()
+        if class_qname in seen:
+            return None
+        seen.add(class_qname)
+        cls = self.classes.get(class_qname)
+        if cls is None:
+            return None
+        if attr in cls.attr_locks:
+            return cls.attr_locks[attr]
+        for base in cls.bases:
+            found = self.lock_attr(base, attr, seen)
+            if found:
+                return found
+        return None
+
+
+class CallGraph:
+    """Call sites per function, plus forward/reverse adjacency."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, List[CallSite]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+
+    def add(self, caller: str, site: CallSite) -> None:
+        self.sites.setdefault(caller, []).append(site)
+        for callee in site.callees:
+            self.callers.setdefault(callee, set()).add(caller)
+
+    def callees_of(self, qname: str) -> Set[str]:
+        return {
+            c for s in self.sites.get(qname, ()) for c in s.callees
+        }
+
+    def reachable_from(self, roots: Sequence[str]) -> Set[str]:
+        """Every function reachable from ``roots`` via call edges
+        (roots included)."""
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            fn = stack.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            stack.extend(self.callees_of(fn) - seen)
+        return seen
+
+    def reaching(self, sinks: Sequence[str]) -> Set[str]:
+        """Every function from which some sink is reachable
+        (sinks included)."""
+        seen: Set[str] = set()
+        stack = list(sinks)
+        while stack:
+            fn = stack.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            stack.extend(self.callers.get(fn, set()) - seen)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# small AST helpers (shared with analyses)
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_class(project: Project, module: str,
+                      annotation: Optional[ast.AST]) -> Optional[str]:
+    """The project class an annotation names, if any (handles Optional
+    and string annotations superficially)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        name: Optional[str] = annotation.value.strip("'\"")
+    else:
+        name = dotted_name(annotation)
+    if name is None:
+        if isinstance(annotation, ast.Subscript):  # Optional[X] / "List[X]"
+            return _annotation_class(project, module, annotation.slice)
+        return None
+    qualified = project.resolve_import(module, name.split(".")[0])
+    if qualified is not None and "." in name:
+        qualified = qualified + "." + name.split(".", 1)[1]
+    for candidate in (qualified, name, f"{module}.{name}"):
+        if candidate and candidate in project.classes:
+            return candidate
+    return None
+
+
+def _lock_from_call(project: Project, module: str, call: ast.Call,
+                    owner: str) -> Optional[LockInfo]:
+    """A :class:`LockInfo` if ``call`` constructs a lock, else None."""
+    func_name = None
+    if isinstance(call.func, ast.Name):
+        func_name = call.func.id
+    elif isinstance(call.func, ast.Attribute):
+        func_name = call.func.attr
+    if func_name not in _LOCK_CONSTRUCTORS:
+        return None
+    ranked = _LOCK_CONSTRUCTORS[func_name]
+    display = owner.rsplit(".", 1)[-1]
+    rank: Optional[int] = None
+    if ranked:
+        rank_arg: Optional[ast.AST] = None
+        if len(call.args) >= 2:
+            rank_arg = call.args[1]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "rank":
+                    rank_arg = kw.value
+        if len(call.args) >= 1 and isinstance(call.args[0], ast.Constant) \
+                and isinstance(call.args[0].value, str):
+            display = call.args[0].value
+        if isinstance(rank_arg, ast.Constant) and isinstance(
+            rank_arg.value, int
+        ):
+            rank = rank_arg.value
+        elif rank_arg is not None:
+            rank_name = dotted_name(rank_arg)
+            if rank_name is not None:
+                rank = project.resolve_int(
+                    module, rank_name.split(".")[-1]
+                )
+    return LockInfo(name=display, rank=rank, owner=owner)
+
+
+# ----------------------------------------------------------------------
+# the build
+# ----------------------------------------------------------------------
+def _collect_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    package = module.rsplit(".", 1)[0] if "." in module else ""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: resolve against this package
+                base_parts = module.split(".")
+                # level 1 = current package; drop one extra per level
+                drop = node.level if module.endswith("__init__") else node.level
+                base = ".".join(base_parts[:-drop]) if drop < len(
+                    base_parts
+                ) else package
+                src = f"{base}.{node.module}" if node.module else base
+            else:
+                src = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = (
+                    f"{src}.{alias.name}" if src else alias.name
+                )
+    return out
+
+
+def _collect_module_level(project: Project, info: ModuleInfo) -> None:
+    """Module constants, classes (methods registered), functions, locks."""
+    module = info.name
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            target = stmt.targets[0].id
+            if isinstance(stmt.value, ast.Constant) and isinstance(
+                stmt.value.value, int
+            ) and not isinstance(stmt.value.value, bool):
+                info.constants[target] = stmt.value.value
+            elif isinstance(stmt.value, ast.Call):
+                lock = _lock_from_call(
+                    project, module, stmt.value, f"{module}.{target}"
+                )
+                if lock is not None:
+                    info.module_locks[target] = lock
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{module}.{stmt.name}"
+            project.functions[qname] = FunctionInfo(
+                qname=qname, module=module, path=info.path, node=stmt,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            _collect_class(project, info, stmt)
+
+
+def _collect_class(project: Project, info: ModuleInfo,
+                   node: ast.ClassDef) -> None:
+    module = info.name
+    qname = f"{module}.{node.name}"
+    cls = ClassInfo(qname=qname, module=module, node=node)
+    for base in node.bases:
+        base_name = dotted_name(base)
+        if base_name is None:
+            continue
+        resolved = project.resolve_import(module, base_name.split(".")[0])
+        for candidate in (resolved, base_name, f"{module}.{base_name}"):
+            if candidate:
+                cls.bases.append(candidate)
+                break
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_qname = f"{qname}.{item.name}"
+            cls.methods[item.name] = fn_qname
+            project.functions[fn_qname] = FunctionInfo(
+                qname=fn_qname, module=module, path=info.path, node=item,
+                cls=qname,
+                is_async=isinstance(item, ast.AsyncFunctionDef),
+            )
+    project.classes[qname] = cls
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.a`` -> ``a`` (single level only), else None."""
+    if isinstance(node, ast.Attribute) and isinstance(
+        node.value, ast.Name
+    ) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _infer_class_attrs(project: Project, info: ModuleInfo,
+                       cls: ClassInfo) -> None:
+    """Fill ``attr_types`` and ``attr_locks`` from every method body."""
+    module = info.name
+    for method_qname in cls.methods.values():
+        fn = project.functions[method_qname]
+        node = fn.node
+        # annotated parameters: self.x = param where param: ProjectClass
+        param_types: Dict[str, str] = {}
+        args = node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        ):
+            klass = _annotation_class(project, module, arg.annotation)
+            if klass:
+                param_types[arg.arg] = klass
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            value = stmt.value
+            if value is None:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                if isinstance(value, ast.Call):
+                    lock = _lock_from_call(
+                        project, module, value, f"{cls.qname}.{attr}"
+                    )
+                    if lock is not None:
+                        cls.attr_locks.setdefault(attr, lock)
+                        continue
+                    klass = _resolve_constructor(project, module, value)
+                    if klass:
+                        cls.attr_types.setdefault(attr, klass)
+                elif isinstance(value, ast.Name) and \
+                        value.id in param_types:
+                    cls.attr_types.setdefault(
+                        attr, param_types[value.id]
+                    )
+        # annotated attribute declarations in the class body
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            klass = _annotation_class(
+                project, info.name, stmt.annotation
+            )
+            if klass:
+                cls.attr_types.setdefault(stmt.target.id, klass)
+
+
+def _resolve_constructor(project: Project, module: str,
+                         call: ast.Call) -> Optional[str]:
+    """The project class ``call`` constructs, if any."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head = name.split(".")[0]
+    resolved = project.resolve_import(module, head)
+    if resolved is not None and "." in name:
+        resolved = resolved + "." + name.split(".", 1)[1]
+    for candidate in (resolved, name, f"{module}.{name}"):
+        if candidate and candidate in project.classes:
+            return candidate
+    return None
+
+
+class _FunctionCallCollector(ast.NodeVisitor):
+    """Extract resolved call sites and local variable types for one
+    function body (nested defs are separate functions; skipped here)."""
+
+    def __init__(self, project: Project, fn: FunctionInfo) -> None:
+        self.project = project
+        self.fn = fn
+        self.module = fn.module
+        self.local_types: Dict[str, str] = {}
+        self.local_locks: Dict[str, LockInfo] = {}
+        self.sites: List[CallSite] = []
+        self._collect_param_types()
+
+    def _collect_param_types(self) -> None:
+        args = self.fn.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        ):
+            klass = _annotation_class(
+                self.project, self.module, arg.annotation
+            )
+            if klass:
+                self.local_types[arg.arg] = klass
+
+    # -- traversal: do not descend into nested function/class defs -----
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.fn.node:
+            return
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+    # -- typed locals ---------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_assignment(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            klass = _annotation_class(
+                self.project, self.module, node.annotation
+            )
+            if klass:
+                self.local_types[node.target.id] = klass
+        if node.value is not None:
+            self._record_assignment([node.target], node.value)
+        self.generic_visit(node)
+
+    def _record_assignment(self, targets: List[ast.AST],
+                           value: ast.AST) -> None:
+        name_targets = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not name_targets:
+            return
+        if isinstance(value, ast.Call):
+            lock = _lock_from_call(
+                self.project, self.module, value,
+                f"{self.fn.qname}.{name_targets[0]}",
+            )
+            if lock is not None:
+                for t in name_targets:
+                    self.local_locks[t] = lock
+                return
+            klass = _resolve_constructor(self.project, self.module, value)
+            if klass:
+                for t in name_targets:
+                    self.local_types[t] = klass
+        elif isinstance(value, ast.Attribute):
+            attr_cls = self._receiver_class_of(value)
+            if attr_cls:
+                for t in name_targets:
+                    self.local_types[t] = attr_cls
+
+    # -- receiver typing ------------------------------------------------
+    def _receiver_class_of(self, node: ast.AST) -> Optional[str]:
+        """The project class of an expression, where inferable."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.fn.cls:
+                return self.fn.cls
+            return self.local_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._receiver_class_of(node.value)
+            if base is not None:
+                cls = self.project.classes.get(base)
+                while cls is not None:
+                    if node.attr in cls.attr_types:
+                        return cls.attr_types[node.attr]
+                    cls = self.project.classes.get(
+                        cls.bases[0]
+                    ) if cls.bases else None
+            return None
+        if isinstance(node, ast.Call):
+            return _resolve_constructor(self.project, self.module, node)
+        return None
+
+    # -- call resolution ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        callees = self._resolve(node)
+        if callees:
+            self.sites.append(
+                CallSite(
+                    node=node,
+                    callees=tuple(callees),
+                    dotted=dotted_name(node.func),
+                )
+            )
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.Call) -> List[str]:
+        func = node.func
+        project = self.project
+        if isinstance(func, ast.Name):
+            name = func.id
+            # module-level function in this module
+            qname = f"{self.module}.{name}"
+            if qname in project.functions:
+                return [qname]
+            target = project.resolve_import(self.module, name)
+            if target:
+                if target in project.functions:
+                    return [target]
+                if target in project.classes:
+                    init = project.method_of(target, "__init__")
+                    return [init] if init else []
+            if f"{self.module}.{name}" in project.classes or (
+                target in project.classes if target else False
+            ):
+                return []
+            return []
+        if isinstance(func, ast.Attribute):
+            receiver_cls = self._receiver_class_of(func.value)
+            if receiver_cls is not None:
+                method = project.method_of(receiver_cls, func.attr)
+                return [method] if method else []
+            # module alias: mod.fn(...)
+            base = dotted_name(func.value)
+            if base is not None:
+                target = project.resolve_import(
+                    self.module, base.split(".")[0]
+                )
+                if target is not None:
+                    if "." in base:
+                        target = target + "." + base.split(".", 1)[1]
+                    candidate = f"{target}.{func.attr}"
+                    if candidate in project.functions:
+                        return [candidate]
+                    if target in project.classes:
+                        method = project.method_of(target, func.attr)
+                        return [method] if method else []
+        return []
+
+
+def _source_digest(paths: Sequence[Tuple[str, str]]) -> str:
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_VERSION}".encode())
+    for path, source in sorted(paths):
+        h.update(path.encode())
+        h.update(hashlib.sha256(source.encode()).digest())
+    return h.hexdigest()
+
+
+def build_project(
+    files: Sequence[Path],
+    cache_dir: Optional[Path] = None,
+) -> Tuple[Project, CallGraph]:
+    """Parse ``files`` and build the symbol table + call graph.
+
+    ``cache_dir``, when given, memoizes the result keyed on the sha256
+    of every source file — an unchanged tree is a cache hit.
+    """
+    sources: List[Tuple[str, str]] = []
+    for f in files:
+        try:
+            sources.append((Path(f).as_posix(), Path(f).read_text(
+                encoding="utf-8"
+            )))
+        except OSError as exc:
+            logger.warning("deep lint skipping unreadable %s: %s", f, exc)
+
+    cache_file: Optional[Path] = None
+    if cache_dir is not None:
+        digest = _source_digest(sources)
+        cache_file = Path(cache_dir) / f"callgraph-{digest[:24]}.pkl"
+        if cache_file.exists():
+            try:
+                with open(cache_file, "rb") as fh:
+                    project, graph = pickle.load(fh)
+                return project, graph
+            except (OSError, pickle.PickleError, EOFError, ValueError,
+                    AttributeError) as exc:
+                logger.warning("deep lint cache unreadable (%s); "
+                               "rebuilding", exc)
+
+    project = Project()
+    for path, source in sources:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            # per-file linting owns the parse-error finding
+            logger.debug("deep lint skipping unparseable %s: %s",
+                         path, exc)
+            continue
+        name = module_name_for(Path(path))
+        info = ModuleInfo(name=name, path=path, tree=tree, source=source)
+        project.modules[name] = info
+        project.modules_by_path[path] = info
+
+    # pass 1: imports (needed before class-base / constant resolution)
+    for info in project.modules.values():
+        info.imports = _collect_imports(info.tree, info.name)
+    # pass 2: classes, functions, constants, module locks
+    for info in project.modules.values():
+        _collect_module_level(project, info)
+    # pass 3: attribute types and lock attributes (needs all classes)
+    for info in project.modules.values():
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                cls = project.classes[f"{info.name}.{stmt.name}"]
+                _infer_class_attrs(project, info, cls)
+
+    graph = CallGraph()
+    for fn in project.functions.values():
+        collector = _FunctionCallCollector(project, fn)
+        collector.visit(fn.node)
+        for site in collector.sites:
+            graph.add(fn.qname, site)
+        # stash per-function typing for the analyses to reuse
+        fn_locals = dict(collector.local_types)
+        fn_locks = dict(collector.local_locks)
+        setattr(fn, "local_types", fn_locals)
+        setattr(fn, "local_locks", fn_locks)
+
+    if cache_file is not None:
+        try:
+            cache_file.parent.mkdir(parents=True, exist_ok=True)
+            tmp = cache_file.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump((project, graph), fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(cache_file)
+        except (OSError, pickle.PickleError) as exc:
+            logger.warning("deep lint cache write failed: %s", exc)
+    return project, graph

@@ -25,12 +25,14 @@ __all__ = [
     "LintContext",
     "LintReport",
     "Rule",
+    "filter_suppressed",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "parse_suppressions",
     "resolve_rules",
+    "statement_spans",
 ]
 
 #: rule name synthesized for files the engine cannot parse
@@ -87,6 +89,9 @@ class Rule(ast.NodeVisitor):
 
     name: str = ""
     description: str = ""
+    #: the motivating-bug text, shared verbatim with docs/linting.md
+    #: (surfaced by ``repro-temporal lint --explain <rule>``)
+    motivation: str = ""
     scopes: Tuple[str, ...] = ()
 
     def __init__(self, ctx: LintContext) -> None:
@@ -131,12 +136,65 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     return out
 
 
-def _suppressed(finding: Finding, disables: Dict[int, Set[str]]) -> bool:
-    for line in (finding.line, finding.line - 1):
+def statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line spans a ``# lint: disable=`` comment covers as one statement.
+
+    Simple statements span ``lineno..end_lineno`` — a call split across
+    five lines is suppressible from any of them.  Compound statements
+    (``if``/``for``/``with``/``def``/``class``) span only their *header*
+    — from the first decorator down to the line before the body — so a
+    disable on a decorator reaches the ``def`` it decorates without
+    blanketing the whole body.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(
+            body[0], ast.stmt
+        ):
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, min(d.lineno for d in decorators))
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        spans.append((start, end))
+    return spans
+
+
+def _suppressed(
+    finding: Finding,
+    disables: Dict[int, Set[str]],
+    spans: Optional[List[Tuple[int, int]]] = None,
+) -> bool:
+    def hit(line: int) -> bool:
         rules = disables.get(line)
-        if rules and (finding.rule in rules or "all" in rules):
+        return bool(rules and (finding.rule in rules or "all" in rules))
+
+    if hit(finding.line) or hit(finding.line - 1):
+        return True
+    for start, end in spans or ():
+        if start <= finding.line <= end and (
+            hit(start - 1) or any(hit(ln) for ln in range(start, end + 1))
+        ):
             return True
     return False
+
+
+def filter_suppressed(
+    findings: Iterable[Finding],
+    source: str,
+    tree: Optional[ast.Module] = None,
+) -> List[Finding]:
+    """Drop findings covered by ``# lint: disable=`` comments in
+    ``source``; ``tree`` (parsed separately) enables the statement-span
+    rules for decorated and multiline statements."""
+    disables = parse_suppressions(source)
+    spans = statement_spans(tree) if tree is not None else None
+    return [f for f in findings if not _suppressed(f, disables, spans)]
 
 
 # ----------------------------------------------------------------------
@@ -193,8 +251,7 @@ def lint_source(
     for rule_cls in resolve_rules(select, ignore):
         if rule_cls.applies_to(posix):
             rule_cls(ctx).run(tree)
-    disables = parse_suppressions(source)
-    return sorted(f for f in ctx.findings if not _suppressed(f, disables))
+    return sorted(filter_suppressed(ctx.findings, source, tree))
 
 
 def lint_file(

@@ -1,0 +1,277 @@
+"""Interprocedural lock-flow facts on top of the call graph.
+
+:mod:`repro.lint.callgraph` answers *who calls whom*; this module
+answers *what is held where*.  Two layers:
+
+* **Local scan** (:func:`scan_function_locks`): walk one function body
+  tracking the ``with`` stack, resolving each context manager to a
+  :class:`~repro.lint.callgraph.LockInfo` — local lock variables,
+  ``self``-attribute locks (through base classes and through typed
+  attributes like ``self.cluster._lock``), module-level locks, and a
+  last-resort name heuristic (``*lock*``/``*mutex*`` spellings become
+  rank-``None`` locks, held but unordered).  The scan yields every
+  acquisition site with the locks already held at that point, and the
+  held set at every call expression.
+
+* **Entry-set fixpoint** (:func:`compute_lock_flow`): a may-analysis
+  over the call graph.  ``entry_held[g]`` accumulates every lock that
+  *some* caller may hold when ``g`` runs: for each call site ``f -> g``,
+  the locks held locally at the site plus ``f``'s own entry set flow
+  into ``g``.  Each propagated lock carries a witness chain
+  ("acquired in ``A`` at line 10, via ``B:42``") so a report one or two
+  frames away from the acquisition can still show the path.  The
+  fixpoint is a standard worklist; monotone set growth bounds it.
+
+May-analysis means findings read "may be held", not "is held" — a
+caller that branches around the lock still propagates it.  That is the
+right polarity for a lock-order checker: rank inversion only has to be
+*possible* to be a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    LockInfo,
+    Project,
+    dotted_name,
+)
+
+__all__ = [
+    "Acquisition",
+    "FunctionLocks",
+    "HeldLock",
+    "LockFlow",
+    "compute_lock_flow",
+    "scan_function_locks",
+]
+
+#: cap on witness-chain length in messages (not on propagation depth)
+_MAX_CHAIN = 6
+
+
+@dataclass
+class Acquisition:
+    """One ``with <lock>:`` site inside a function."""
+
+    node: ast.AST             # the context expression (has lineno/col)
+    lock: LockInfo
+    held_before: Tuple[LockInfo, ...]  # locks already held at this site
+
+
+@dataclass
+class FunctionLocks:
+    """Local lock facts for one function."""
+
+    qname: str
+    acquisitions: List[Acquisition] = field(default_factory=list)
+    #: id(ast.Call) -> locks held at that expression
+    held_at_call: Dict[int, Tuple[LockInfo, ...]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass(frozen=True)
+class HeldLock:
+    """A lock that may be held on entry, with its witness chain."""
+
+    lock: LockInfo
+    chain: Tuple[str, ...]    # ("mod.Class.fn:123", ...) acquisition-first
+
+    def describe(self) -> str:
+        rank = f" (rank {self.lock.rank})" if self.lock.rank is not None \
+            else ""
+        via = " -> ".join(self.chain[:_MAX_CHAIN])
+        return f"'{self.lock.name}'{rank} acquired via {via}"
+
+
+@dataclass
+class LockFlow:
+    """The full lock model: local facts + interprocedural entry sets."""
+
+    per_function: Dict[str, FunctionLocks]
+    #: fn qname -> lock owner key -> HeldLock (first witness wins)
+    entry_held: Dict[str, Dict[str, HeldLock]]
+
+    def locals_of(self, qname: str) -> FunctionLocks:
+        return self.per_function.get(qname) or FunctionLocks(qname=qname)
+
+
+def _looks_like_lock(name: str) -> bool:
+    lowered = name.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def _resolve_lock_expr(project: Project, fn: FunctionInfo,
+                       expr: ast.AST) -> Optional[LockInfo]:
+    """The lock ``expr`` denotes inside ``fn``, if it denotes one.
+
+    Resolution order: known local lock vars, ``self.attr`` locks
+    (through bases), attribute locks on typed receivers
+    (``self.cluster._lock``), module-level locks, then the name
+    heuristic for lock-ish spellings we could not resolve.
+    """
+    # ``with self._lock.acquire_timeout(...)``-style wrappers: look at
+    # the receiver of a call used as a context manager
+    if isinstance(expr, ast.Call):
+        inner = _resolve_lock_expr(project, fn, expr.func)
+        if inner is not None:
+            return inner
+        return None
+    local_locks: Dict[str, LockInfo] = getattr(fn, "local_locks", {})
+    local_types: Dict[str, str] = getattr(fn, "local_types", {})
+    if isinstance(expr, ast.Name):
+        if expr.id in local_locks:
+            return local_locks[expr.id]
+        info = project.modules.get(fn.module)
+        if info is not None and expr.id in info.module_locks:
+            return info.module_locks[expr.id]
+        if _looks_like_lock(expr.id):
+            return LockInfo(name=expr.id, rank=None,
+                            owner=f"{fn.qname}:{expr.id}")
+        return None
+    if isinstance(expr, ast.Attribute):
+        # receiver class: self, typed local, or typed attribute chain
+        receiver_cls: Optional[str] = None
+        value = expr.value
+        if isinstance(value, ast.Name):
+            if value.id == "self" and fn.cls:
+                receiver_cls = fn.cls
+            else:
+                receiver_cls = local_types.get(value.id)
+        elif isinstance(value, ast.Attribute):
+            # one extra hop: self.attr.lock / local.attr.lock
+            base_cls: Optional[str] = None
+            if isinstance(value.value, ast.Name):
+                if value.value.id == "self" and fn.cls:
+                    base_cls = fn.cls
+                else:
+                    base_cls = local_types.get(value.value.id)
+            if base_cls is not None:
+                cls = project.classes.get(base_cls)
+                if cls is not None and value.attr in cls.attr_types:
+                    receiver_cls = cls.attr_types[value.attr]
+        if receiver_cls is not None:
+            lock = project.lock_attr(receiver_cls, expr.attr)
+            if lock is not None:
+                return lock
+        if _looks_like_lock(expr.attr):
+            spelling = dotted_name(expr) or expr.attr
+            return LockInfo(name=spelling, rank=None,
+                            owner=f"{fn.qname}:{spelling}")
+    return None
+
+
+class _LockScanner:
+    """Walk one function body tracking the ``with``-held lock stack."""
+
+    def __init__(self, project: Project, fn: FunctionInfo) -> None:
+        self.project = project
+        self.fn = fn
+        self.result = FunctionLocks(qname=fn.qname)
+
+    def scan(self) -> FunctionLocks:
+        body = getattr(self.fn.node, "body", [])
+        for stmt in body:
+            self._visit(stmt, ())
+        return self.result
+
+    def _visit(self, node: ast.AST, held: Tuple[LockInfo, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs run later, under their own locks
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                self._visit_expr(item.context_expr, inner)
+                lock = _resolve_lock_expr(
+                    self.project, self.fn, item.context_expr
+                )
+                if lock is not None:
+                    self.result.acquisitions.append(
+                        Acquisition(
+                            node=item.context_expr, lock=lock,
+                            held_before=inner,
+                        )
+                    )
+                    inner = inner + (lock,)
+            for child in node.body:
+                self._visit(child, inner)
+            return
+        # statements: record calls in expressions, recurse into blocks
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child, held)
+            else:
+                self._visit(child, held)
+
+    def _visit_expr(self, node: ast.AST, held: Tuple[LockInfo, ...]) -> None:
+        if isinstance(node, (ast.Lambda,)):
+            return  # deferred execution
+        if isinstance(node, ast.Call):
+            self.result.held_at_call[id(node)] = held
+        for child in ast.iter_child_nodes(node):
+            self._visit_expr(child, held)
+
+
+def scan_function_locks(project: Project,
+                        fn: FunctionInfo) -> FunctionLocks:
+    """Local lock facts (acquisitions, held-at-call) for one function."""
+    return _LockScanner(project, fn).scan()
+
+
+def compute_lock_flow(project: Project, graph: CallGraph) -> LockFlow:
+    """Scan every function, then run the entry-set fixpoint."""
+    per_function = {
+        qname: scan_function_locks(project, fn)
+        for qname, fn in project.functions.items()
+    }
+    entry_held: Dict[str, Dict[str, HeldLock]] = {
+        qname: {} for qname in project.functions
+    }
+
+    worklist = deque(project.functions)
+    queued = set(worklist)
+    while worklist:
+        caller = worklist.popleft()
+        queued.discard(caller)
+        caller_entry = entry_held[caller]
+        locks_here = per_function[caller]
+        for site in graph.sites.get(caller, ()):
+            held_local = locks_here.held_at_call.get(id(site.node), ())
+            # build the combined may-held map flowing into the callee
+            flowing: Dict[str, HeldLock] = dict(caller_entry)
+            for lock in held_local:
+                flowing.setdefault(
+                    lock.owner,
+                    HeldLock(
+                        lock=lock,
+                        chain=(f"{caller}:{site.node.lineno}",),
+                    ),
+                )
+            if not flowing:
+                continue
+            for callee in site.callees:
+                target = entry_held.setdefault(callee, {})
+                changed = False
+                for key, held in flowing.items():
+                    if key in target:
+                        continue
+                    chain = held.chain
+                    hop = f"{caller}:{site.node.lineno}"
+                    if chain[-1:] != (hop,) and len(chain) < _MAX_CHAIN:
+                        chain = chain + (hop,)
+                    target[key] = HeldLock(lock=held.lock, chain=chain)
+                    changed = True
+                if changed and callee not in queued and \
+                        callee in project.functions:
+                    worklist.append(callee)
+                    queued.add(callee)
+
+    return LockFlow(per_function=per_function, entry_held=entry_held)

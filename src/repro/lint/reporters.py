@@ -18,12 +18,26 @@ The JSON document is the CI contract (schema version 1)::
 from __future__ import annotations
 
 import json
+from pathlib import Path
+from typing import Dict, Optional
 
 from repro.lint.core import LintReport
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: LintReport) -> str:
@@ -43,6 +57,73 @@ def render_text(report: LintReport) -> str:
             f"{report.files_checked} files checked ({per_rule})"
         )
     return "\n".join(lines)
+
+
+def render_sarif(
+    report: LintReport,
+    descriptions: Optional[Dict[str, str]] = None,
+) -> str:
+    """A SARIF 2.1.0 document (the GitHub code-scanning contract).
+
+    ``descriptions`` maps rule/analysis name to its one-line
+    description; unnamed rules still get a rule entry so every result's
+    ``ruleIndex`` resolves.
+    """
+    descriptions = dict(descriptions or {})
+    rule_ids = sorted(
+        set(report.rules)
+        | {f.rule for f in report.findings}
+        | set(descriptions)
+    )
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": rid},
+            "fullDescription": {
+                "text": descriptions.get(rid, rid)
+            },
+        }
+        for rid in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(f.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-temporal-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
 
 
 def render_json(report: LintReport) -> str:

@@ -116,6 +116,17 @@ class MmapEscapeRule(Rule):
         "array without copying; the view dangles (and segfaults) once the "
         "map is closed or the segment unlinked"
     )
+    motivation = (
+        "PR 1's use-after-unmap crashes: returning a view of a "
+        "`np.memmap` lets callers keep pointers into pages that vanish "
+        "on `close()`. The same dangling-view shape exists for "
+        "shared-memory arenas, so `.shared_view(...)` results "
+        "(`repro.parallel.shared_arena`) are tainted too — a view of an "
+        "unlinked segment is a segfault in waiting. Flags returning (or "
+        "passing through an unknown call) anything assigned from "
+        "`np.memmap(...)`/`.shared_view(...)` without an intervening "
+        "`np.array(..., copy=True)` / `.copy()`."
+    )
     scopes = ("service/", "utils/", "parallel/", "runtime/")
 
     #: call names that materialize a copy and therefore defuse the escape
@@ -197,6 +208,12 @@ class LockDisciplineRule(Rule):
         "an instance attribute is written under `with self._lock:` in one "
         "place and without the lock in another — the lock protects nothing"
     )
+    motivation = (
+        "The writer/executor races: an attribute written under "
+        "`with self._lock:` in one method and bare in another is not "
+        "protected at all. The real `RankStoreWriter._closed` race this "
+        "rule caught is fixed in the same PR that introduced it."
+    )
     scopes = ()  # any module that imports threading
 
     #: constructor-shaped methods whose writes happen before sharing
@@ -272,6 +289,10 @@ class LockBlockingCallRule(Rule):
         "a blocking call (thread join, Future.result, wait, sleep, open) "
         "is made while holding a lock — the self-deadlock shape"
     )
+    motivation = (
+        "Self-deadlock shape: `Thread.join()`, `Future.result()`, "
+        "`wait()`, `sleep()`, or `open()` while holding a lock."
+    )
     scopes = ()  # any module that imports threading
 
     BLOCKING_METHODS = {"join", "result", "wait", "sleep"}
@@ -322,6 +343,11 @@ class UnseededRngRule(Rule):
         "numpy's global-state RNG (np.random.rand & co.) or "
         "np.random.default_rng() with no seed makes runs nondeterministic"
     )
+    motivation = (
+        "Nondeterministic reproduction results. Flags numpy's "
+        "global-state RNG (`np.random.rand` & co.) and "
+        "`np.random.default_rng()` with no seed."
+    )
     scopes = ("kernels/", "pagerank/", "benchmarks/")
 
     LEGACY = {
@@ -370,6 +396,11 @@ class MissingDtypeRule(Rule):
         "an ndarray allocation in a hot kernel has no explicit dtype=, "
         "so precision and memory traffic drift with the platform default"
     )
+    motivation = (
+        "dtype drift: `np.zeros/ones/empty/full` without an explicit "
+        "`dtype=` inherits the platform default, silently changing "
+        "precision and doubling memory traffic in hot kernels."
+    )
     scopes = (
         "pagerank/", "kernels/", "graph/temporal_csr",
         "benchmarks/bench_edge_compaction",
@@ -409,6 +440,11 @@ class CsrPythonLoopRule(Rule):
     description = (
         "a Python-level for loop iterates over a CSR structure array "
         "(O(nnz) interpreter work); use the vectorized segment primitives"
+    )
+    motivation = (
+        "O(nnz) interpreter loops over CSR structure arrays (`indptr`, "
+        "`indices`, `rowA`, ...) — the scalar fallback the vectorized "
+        "segment primitives exist to avoid."
     )
     scopes = (
         "kernels/", "pagerank/", "graph/",
@@ -469,6 +505,11 @@ class SilentExceptRule(Rule):
         "a bare `except:` or a handler whose body is only pass/continue "
         "swallows failures; log, narrow, or re-raise"
     )
+    motivation = (
+        "Swallowed failures: bare `except:` or handlers whose body is "
+        "only `pass`/`continue`/`...` hide the error until it resurfaces "
+        "somewhere unrelated."
+    )
     scopes = ()
 
     @staticmethod
@@ -508,6 +549,12 @@ class MutableDefaultRule(Rule):
     description = (
         "mutable default arguments are shared across calls; lowercase "
         "module-level list/dict/set bindings are hidden global state"
+    )
+    motivation = (
+        "Accidental shared state: mutable default arguments, and "
+        "lowercase module-level `list`/`dict`/`set` bindings (hidden "
+        "globals). `UPPER_CASE` names are treated as frozen-by-"
+        "convention constants."
     )
     scopes = ()
 

@@ -255,24 +255,13 @@ class ClusterFrontend:
             if path == "/health":
                 return 200, {"status": "ok"}
             if path == "/healthz":
-                degraded = self.cluster.degraded()
-                return 200, {
-                    "status": "degraded" if degraded else "ok",
-                    "degraded": degraded,
-                    "in_flight": self._inflight,
-                    "shards_alive": sum(
-                        1
-                        for s in self.cluster.shard_map.shards
-                        if self.cluster.shard_alive(s.shard_id)
-                    ),
-                    "shards": self.cluster.shard_map.n_shards,
-                }
+                return 200, await self._snapshot(self._healthz)
             if path == "/store":
-                return 200, self.cluster.info()
+                return 200, await self._snapshot(self.cluster.info)
             if path == "/cluster":
-                return 200, self.cluster.status()
+                return 200, await self._snapshot(self.cluster.status)
             if path == "/stats":
-                return 200, self.stats()
+                return 200, await self._snapshot(self.stats)
             route = _GET_ROUTES.get(path)
             if route is None:
                 return 404, {"error": f"unknown endpoint {path}"}
@@ -336,6 +325,32 @@ class ClusterFrontend:
         if result.get("degraded"):
             return 503, result
         return 400, result
+
+    async def _snapshot(self, fn):
+        """Run a synchronous cluster snapshot off the event loop.
+
+        ``degraded()``/``status()``/``stats()``/``info()`` all take
+        ranked cluster locks (replica in-flight counts, counter
+        totals); waiting on one of those locks on the loop thread would
+        stall every concurrent request — including the health probe
+        meant to notice the stall.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn)
+
+    def _healthz(self) -> Dict[str, object]:
+        degraded = self.cluster.degraded()
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "in_flight": self._inflight,
+            "shards_alive": sum(
+                1
+                for s in self.cluster.shard_map.shards
+                if self.cluster.shard_alive(s.shard_id)
+            ),
+            "shards": self.cluster.shard_map.n_shards,
+        }
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

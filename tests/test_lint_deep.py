@@ -1,0 +1,896 @@
+"""The whole-program analyses: seeded faults, baseline, SARIF, CLI.
+
+Each analysis gets a *seeded-fault* fixture — a small multi-module
+package with one deliberately planted defect the per-file rules cannot
+see — and the test asserts the analysis reports it at the right
+file:line.  The negative fixtures plant the fixed variant and assert
+silence, which is what keeps the analyses honest about their own false
+positives.  The meta-test at the bottom runs ``--deep`` over the real
+tree modulo the committed baseline, mirroring the CI ``lint-deep`` job.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import render_sarif
+from repro.lint.analyses import (
+    ALL_ANALYSES,
+    analysis_descriptions,
+    run_deep,
+)
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import LintReport, lint_paths
+from repro.lint.rules import rule_descriptions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ANALYSIS_NAMES = [a.name for a in ALL_ANALYSES]
+
+
+def write_pkg(tmp_path: Path, files: dict) -> Path:
+    """Lay out ``files`` (relative path -> source) as a package tree."""
+    root = tmp_path / "proj"
+    (root / "pkg").mkdir(parents=True)
+    (root / "pkg" / "__init__.py").write_text("")
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return root
+
+
+def deep(root: Path, select=None):
+    return run_deep(
+        [root], select=select, known_rules=list(rule_descriptions())
+    )
+
+
+def only(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# analysis 1: lock-order
+# ----------------------------------------------------------------------
+class TestLockOrderAnalysis:
+    def test_two_module_rank_inversion(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/locks.py": """\
+                from repro.sanitize import make_lock
+
+                LOCK_RANK_STORE = 10
+                LOCK_RANK_DRIVER = 20
+
+
+                class Store:
+                    def __init__(self):
+                        self._lock = make_lock("store-lock", LOCK_RANK_STORE)
+
+                    def write(self):
+                        with self._lock:
+                            return 1
+                """,
+            "pkg/driver.py": """\
+                from repro.sanitize import make_lock
+
+                from pkg.locks import LOCK_RANK_DRIVER, Store
+
+
+                class Driver:
+                    def __init__(self):
+                        self.store = Store()
+                        self._lock = make_lock("driver-lock", LOCK_RANK_DRIVER)
+
+                    def flush(self):
+                        with self._lock:
+                            self.store.write()
+                """,
+        })
+        findings = only(deep(root, ["lock-order"]), "lock-order")
+        assert len(findings) == 1
+        f = findings[0]
+        # the inversion is reported at the acquisition in the *callee*
+        # module, with the caller's acquisition in the witness chain
+        assert f.path.endswith("pkg/locks.py")
+        assert f.line == 12  # `with self._lock:` inside Store.write
+        assert "'store-lock' (rank 10)" in f.message
+        assert "'driver-lock' (rank 20)" in f.message
+        assert "Driver.flush" in f.message
+
+    def test_increasing_ranks_are_clean(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/locks.py": """\
+                from repro.sanitize import make_lock
+
+                LOCK_RANK_STORE = 10
+                LOCK_RANK_DRIVER = 20
+
+
+                class Store:
+                    def __init__(self):
+                        self._lock = make_lock("store-lock", LOCK_RANK_DRIVER)
+
+                    def write(self):
+                        with self._lock:
+                            return 1
+
+
+                class Driver:
+                    def __init__(self):
+                        self.store = Store()
+                        self._lock = make_lock("driver-lock", LOCK_RANK_STORE)
+
+                    def flush(self):
+                        with self._lock:
+                            self.store.write()
+                """,
+        })
+        assert deep(root, ["lock-order"]) == []
+
+    def test_local_inversion_in_one_function(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/one.py": """\
+                from repro.sanitize import make_lock
+
+                outer = make_lock("outer", 20)
+                inner = make_lock("inner", 10)
+
+
+                def nest():
+                    with outer:
+                        with inner:
+                            return 1
+                """,
+        })
+        findings = only(deep(root, ["lock-order"]), "lock-order")
+        assert len(findings) == 1
+        assert findings[0].line == 9
+        assert "already holding 'outer' (rank 20)" in findings[0].message
+
+    def test_blocking_call_one_frame_below_lock(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/driver.py": """\
+                from repro.sanitize import make_lock
+
+
+                class Driver:
+                    def __init__(self, thread):
+                        self._lock = make_lock("driver-lock", 20)
+                        self.thread = thread
+
+                    def drain(self):
+                        with self._lock:
+                            self._stop()
+
+                    def _stop(self):
+                        self.thread.join()
+                """,
+        })
+        findings = only(deep(root, ["lock-order"]), "lock-order")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.line == 14  # the join, one frame below the lock
+        assert ".join()" in f.message
+        assert "driver-lock" in f.message and "Driver.drain" in f.message
+
+
+# ----------------------------------------------------------------------
+# analysis 2: async-blocking
+# ----------------------------------------------------------------------
+class TestAsyncBlockingAnalysis:
+    def test_future_result_reachable_from_coroutine(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/api.py": """\
+                class Gateway:
+                    async def handle(self, query):
+                        return self._collect(query)
+
+                    def _collect(self, query):
+                        fut = self._submit(query)
+                        return fut.result()
+
+                    def _submit(self, query):
+                        return query
+                """,
+        })
+        findings = only(deep(root, ["async-blocking"]), "async-blocking")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.path.endswith("pkg/api.py")
+        assert f.line == 7  # the fut.result() call
+        assert ".result()" in f.message
+        assert "Gateway.handle" in f.message  # the witness chain
+
+    def test_awaited_asyncio_sleep_is_clean(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/api.py": """\
+                import asyncio
+
+
+                async def pause():
+                    await asyncio.sleep(0.1)
+                """,
+        })
+        assert deep(root, ["async-blocking"]) == []
+
+    def test_run_in_executor_handoff_is_clean(self, tmp_path):
+        # the sanctioned fix: handing the blocking callable to the
+        # executor must NOT drag its body into the coroutine's tree
+        root = write_pkg(tmp_path, {
+            "pkg/api.py": """\
+                import asyncio
+
+
+                class Gateway:
+                    async def handle(self, query):
+                        loop = asyncio.get_running_loop()
+                        return await loop.run_in_executor(
+                            None, self.blocking, query
+                        )
+
+                    def blocking(self, query):
+                        fut = self._submit(query)
+                        return fut.result()
+
+                    def _submit(self, query):
+                        return query
+                """,
+        })
+        assert deep(root, ["async-blocking"]) == []
+
+    def test_frontend_inline_snapshot_regression(self, tmp_path):
+        # the exact shape the analysis caught in ClusterFrontend: an
+        # async route handler calling straight into a coordinator
+        # method that takes a ranked counter lock; fixed in
+        # frontend.py by hopping through run_in_executor
+        root = write_pkg(tmp_path, {
+            "pkg/coordinator.py": """\
+                from repro.sanitize import make_lock
+
+
+                class ShardCluster:
+                    def __init__(self):
+                        self._counters_lock = make_lock("counters", 8)
+
+                    def stats(self):
+                        with self._counters_lock:
+                            return {}
+                """,
+            "pkg/frontend.py": """\
+                from pkg.coordinator import ShardCluster
+
+
+                class Frontend:
+                    def __init__(self):
+                        self.cluster = ShardCluster()
+
+                    async def route(self, path):
+                        if path == "/stats":
+                            return 200, self.stats()
+                        return 404, {}
+
+                    def stats(self):
+                        return self.cluster.stats()
+                """,
+        })
+        findings = only(deep(root, ["async-blocking"]), "async-blocking")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.path.endswith("pkg/coordinator.py")
+        assert "'counters' (rank 8)" in f.message
+        assert "Frontend.route" in f.message
+
+    def test_ranked_lock_in_coroutine_fires(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/api.py": """\
+                from repro.sanitize import make_lock
+
+
+                class Gateway:
+                    def __init__(self):
+                        self._lock = make_lock("gateway", 10)
+
+                    async def handle(self):
+                        with self._lock:
+                            return 1
+                """,
+        })
+        findings = only(deep(root, ["async-blocking"]), "async-blocking")
+        assert len(findings) == 1
+        assert findings[0].line == 9
+        assert "'gateway' (rank 10)" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# analysis 3: arena-lifecycle
+# ----------------------------------------------------------------------
+class TestArenaLifecycleAnalysis:
+    def test_shared_view_returned_past_close(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                from repro.parallel.shared_arena import attach_arena
+
+
+                def grab(handle):
+                    view = attach_arena(handle)
+                    m = view.shared_view("m")
+                    view.close()
+                    return m
+                """,
+        })
+        findings = only(deep(root, ["arena-lifecycle"]), "arena-lifecycle")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.path.endswith("pkg/mem.py")
+        assert f.line == 8  # the `return m` after view.close()
+        assert "'m' used after 'view.close()'" in f.message
+
+    def test_close_after_use_is_clean(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                from repro.parallel.shared_arena import attach_arena
+                import numpy as np
+
+
+                def grab(handle):
+                    view = attach_arena(handle)
+                    m = np.array(view.shared_view("m"), copy=True)
+                    view.close()
+                    return m
+                """,
+        })
+        # m is a copy, not a shared_view result, so no view var exists
+        assert deep(root, ["arena-lifecycle"]) == []
+
+    def test_close_in_error_branch_is_clean(self, tmp_path):
+        # a close inside an early-return branch must not poison the
+        # straight-line path below it
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                from repro.parallel.shared_arena import attach_arena
+
+
+                def grab(handle, bad):
+                    view = attach_arena(handle)
+                    m = view.shared_view("m")
+                    if bad:
+                        view.close()
+                        return None
+                    total = float(m.sum())
+                    view.close()
+                    return total
+                """,
+        })
+        assert deep(root, ["arena-lifecycle"]) == []
+
+    def test_transitive_view_return_escape(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                def inner(view):
+                    return view.shared_view("m")
+
+
+                def outer(view):
+                    return inner(view)
+                """,
+        })
+        findings = only(deep(root, ["arena-lifecycle"]), "arena-lifecycle")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.line == 6  # outer's return — the frame per-file cannot see
+        assert "pkg.mem.inner" in f.message
+
+    def test_copy_wrapper_defuses_transitive_escape(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                import numpy as np
+
+
+                def inner(view):
+                    return view.shared_view("m")
+
+
+                def outer(view):
+                    return np.array(inner(view), copy=True)
+                """,
+        })
+        assert deep(root, ["arena-lifecycle"]) == []
+
+    def test_unclosed_local_segment_fires(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                from repro.parallel.shared_arena import SharedArena
+
+
+                def leak(arrays):
+                    arena = SharedArena("leak", arrays)
+                    return len(arrays)
+                """,
+        })
+        findings = only(deep(root, ["arena-lifecycle"]), "arena-lifecycle")
+        assert len(findings) == 1
+        assert findings[0].line == 5
+        assert "'arena'" in findings[0].message
+        assert "leaks" in findings[0].message
+
+    def test_handed_off_segment_is_clean(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/mem.py": """\
+                from repro.parallel.shared_arena import SharedArena
+
+
+                def publish(arrays, registry):
+                    arena = SharedArena("pub", arrays)
+                    registry.add(arena)
+                    return len(arrays)
+
+
+                def owned(arrays):
+                    arena = SharedArena("own", arrays)
+                    try:
+                        return arena.handle()
+                    finally:
+                        arena.close()
+                """,
+        })
+        assert deep(root, ["arena-lifecycle"]) == []
+
+
+# ----------------------------------------------------------------------
+# analysis 4: deep-determinism
+# ----------------------------------------------------------------------
+class TestDeepDeterminismAnalysis:
+    def test_set_iteration_feeding_run_result(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/calc.py": """\
+                def collect(windows):
+                    total = 0.0
+                    for w in set(windows):
+                        total += w
+                    return RunResult(total)
+                """,
+        })
+        findings = only(
+            deep(root, ["deep-determinism"]), "deep-determinism"
+        )
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.path.endswith("pkg/calc.py")
+        assert f.line == 3  # the for statement
+        assert "unordered set(...)" in f.message
+
+    def test_sorted_defuses(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/calc.py": """\
+                def collect(windows):
+                    total = 0.0
+                    for w in sorted(set(windows)):
+                        total += w
+                    return RunResult(total)
+                """,
+        })
+        assert deep(root, ["deep-determinism"]) == []
+
+    def test_set_iteration_in_callee_of_sink(self, tmp_path):
+        # the set order flows *up* through feed()'s return value into
+        # the RunResult constructed by the caller
+        root = write_pkg(tmp_path, {
+            "pkg/calc.py": """\
+                def feed(windows):
+                    out = []
+                    for w in {1, 2, 3}:
+                        out.append(w)
+                    return out
+
+
+                def save(windows):
+                    return RunResult(feed(windows))
+                """,
+        })
+        findings = only(
+            deep(root, ["deep-determinism"]), "deep-determinism"
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 3
+        assert "set literal" in findings[0].message
+        assert "pkg.calc.save" in findings[0].message
+
+    def test_set_iteration_away_from_sinks_is_clean(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/calc.py": """\
+                def unrelated(items):
+                    for x in set(items):
+                        print(x)
+
+
+                def save(values):
+                    return RunResult(values)
+                """,
+        })
+        assert deep(root, ["deep-determinism"]) == []
+
+    def test_unseeded_rng_on_feeding_path(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/calc.py": """\
+                import numpy as np
+
+
+                def jitter(values):
+                    rng = np.random.default_rng()
+                    return values + rng.normal()
+
+
+                def save(values):
+                    return RunResult(jitter(values))
+                """,
+        })
+        findings = only(
+            deep(root, ["deep-determinism"]), "deep-determinism"
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 5
+        assert "without a seed" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# suppression parity with the per-file rules
+# ----------------------------------------------------------------------
+class TestDeepSuppression:
+    def test_inline_disable_suppresses_deep_finding(self, tmp_path):
+        root = write_pkg(tmp_path, {
+            "pkg/calc.py": """\
+                def collect(windows):
+                    total = 0.0
+                    # lint: disable=deep-determinism — order-independent sum
+                    for w in set(windows):
+                        total += w
+                    return RunResult(total)
+                """,
+        })
+        assert deep(root, ["deep-determinism"]) == []
+
+
+# ----------------------------------------------------------------------
+# the baseline
+# ----------------------------------------------------------------------
+FAULT = {
+    "pkg/calc.py": """\
+        def collect(windows):
+            total = 0.0
+            for w in set(windows):
+                total += w
+            return RunResult(total)
+        """,
+}
+
+
+class TestBaseline:
+    def test_round_trip_silences_and_reports_stale(self, tmp_path):
+        root = write_pkg(tmp_path, FAULT)
+        findings = deep(root, ["deep-determinism"])
+        assert len(findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        baseline = load_baseline(baseline_path)
+        assert len(baseline) == 1
+        kept, matched, stale = apply_baseline(findings, baseline)
+        assert kept == [] and matched == 1 and stale == []
+        # a baseline entry that matches nothing anymore is stale
+        kept, matched, stale = apply_baseline([], baseline)
+        assert kept == [] and matched == 0 and len(stale) == 1
+
+    def test_baseline_matching_is_line_number_free(self, tmp_path):
+        root = write_pkg(tmp_path, FAULT)
+        findings = deep(root, ["deep-determinism"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        # an unrelated edit moves the finding down two lines
+        target = root / "pkg" / "calc.py"
+        target.write_text(
+            "# a leading comment moves every line\n\n"
+            + target.read_text()
+        )
+        moved = deep(root, ["deep-determinism"])
+        assert moved[0].line == findings[0].line + 2
+        kept, matched, _ = apply_baseline(
+            moved, load_baseline(baseline_path)
+        )
+        assert kept == [] and matched == 1
+
+    def test_cli_write_baseline_then_clean(self, tmp_path, monkeypatch):
+        root = write_pkg(tmp_path, FAULT)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "accepted.json"
+        out = io.StringIO()
+        assert main(
+            ["lint", "--deep", "--no-cache", "--select",
+             "deep-determinism", "--baseline", str(baseline),
+             "--write-baseline", str(root)],
+            out=out,
+        ) == 0
+        assert baseline.exists()
+        out = io.StringIO()
+        assert main(
+            ["lint", "--deep", "--no-cache", "--select",
+             "deep-determinism", "--baseline", str(baseline), str(root)],
+            out=out,
+        ) == 0
+        assert "matched the baseline" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+#: the load-bearing subset of the SARIF 2.1.0 schema (oasis-tcs
+#: sarif-spec), inlined because CI has no network access
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": ["none", "note", "warning",
+                                             "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"},
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type":
+                                                                "string",
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum":
+                                                                1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum":
+                                                                1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarif:
+    def _report(self, tmp_path) -> LintReport:
+        root = write_pkg(tmp_path, FAULT)
+        findings = deep(root, ["deep-determinism"])
+        return LintReport(
+            findings=findings, files_checked=2,
+            rules=sorted(rule_descriptions()) + ANALYSIS_NAMES,
+        )
+
+    def test_sarif_validates_against_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        report = self._report(tmp_path)
+        descriptions = dict(rule_descriptions())
+        descriptions.update(analysis_descriptions())
+        doc = json.loads(render_sarif(report, descriptions))
+        jsonschema.validate(doc, SARIF_SCHEMA)
+
+    def test_sarif_locations_and_rule_index(self, tmp_path):
+        report = self._report(tmp_path)
+        doc = json.loads(render_sarif(report))
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["tool"]["driver"]["name"] == "repro-temporal-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "deep-determinism"
+        assert rules[result["ruleIndex"]]["id"] == "deep-determinism"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == report.findings[0].line
+        assert region["startColumn"] == report.findings[0].col + 1
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("pkg/calc.py") and "\\" not in uri
+
+    def test_empty_report_is_valid_sarif(self):
+        doc = json.loads(render_sarif(
+            LintReport(findings=[], files_checked=0, rules=[])
+        ))
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestDeepCli:
+    def test_deep_exits_nonzero_on_fault(self, tmp_path, monkeypatch):
+        root = write_pkg(tmp_path, FAULT)
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        assert main(
+            ["lint", "--deep", "--no-cache", str(root)], out=out
+        ) == 1
+        assert "deep-determinism" in out.getvalue()
+
+    def test_sarif_output_file(self, tmp_path, monkeypatch):
+        root = write_pkg(tmp_path, FAULT)
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "report.sarif"
+        out = io.StringIO()
+        assert main(
+            ["lint", "--deep", "--no-cache", "--format", "sarif",
+             "--output", str(target), str(root)],
+            out=out,
+        ) == 1
+        doc = json.loads(target.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_deep_select_only_analysis(self, tmp_path, monkeypatch):
+        # selecting only an analysis must not re-enable per-file rules
+        root = write_pkg(tmp_path, {
+            "pkg/messy.py": """\
+                def f(x=[]):
+                    return x
+                """,
+            **FAULT,
+        })
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        assert main(
+            ["lint", "--deep", "--no-cache", "--select",
+             "deep-determinism", "--format", "json", str(root)],
+            out=out,
+        ) == 1
+        doc = json.loads(out.getvalue())
+        assert {f["rule"] for f in doc["findings"]} == {"deep-determinism"}
+
+    def test_unknown_rule_still_rejected_with_deep(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, FAULT)
+        code = main(["lint", "--deep", "--no-cache", "--select", "nope",
+                     str(root)], out=io.StringIO())
+        assert code == 1
+        assert "unknown lint rule(s): nope" in capsys.readouterr().err
+
+    def test_cache_round_trip_same_findings(self, tmp_path):
+        root = write_pkg(tmp_path, FAULT)
+        cache = tmp_path / "cache"
+        first = run_deep([root], select=["deep-determinism"],
+                         known_rules=list(rule_descriptions()),
+                         cache_dir=cache)
+        assert list(cache.glob("callgraph-*.pkl"))
+        second = run_deep([root], select=["deep-determinism"],
+                          known_rules=list(rule_descriptions()),
+                          cache_dir=cache)
+        assert first == second and len(first) == 1
+
+    def test_cache_invalidates_on_source_change(self, tmp_path):
+        root = write_pkg(tmp_path, FAULT)
+        cache = tmp_path / "cache"
+        kw = dict(select=["deep-determinism"],
+                  known_rules=list(rule_descriptions()), cache_dir=cache)
+        assert len(run_deep([root], **kw)) == 1
+        fixed = textwrap.dedent(FAULT["pkg/calc.py"]).replace(
+            "set(windows)", "sorted(windows)"
+        )
+        (root / "pkg" / "calc.py").write_text(fixed)
+        assert run_deep([root], **kw) == []
+        assert len(list(cache.glob("callgraph-*.pkl"))) == 2
+
+    def test_list_rules_includes_analyses(self):
+        out = io.StringIO()
+        assert main(["lint", "--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for name in ANALYSIS_NAMES:
+            assert name in text
+
+
+# ----------------------------------------------------------------------
+# the gate: the real tree is deep-clean modulo the committed baseline
+# ----------------------------------------------------------------------
+class TestRepositoryIsDeepClean:
+    def test_analysis_catalog_is_complete(self):
+        assert len(ALL_ANALYSES) == 4
+        descriptions = analysis_descriptions()
+        assert set(descriptions) == set(ANALYSIS_NAMES)
+        assert all(descriptions.values())
+        # analysis names must not collide with per-file rule names
+        assert not set(descriptions) & set(rule_descriptions())
+
+    def test_src_and_benchmarks_deep_clean_modulo_baseline(self):
+        findings = run_deep(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"],
+            known_rules=list(rule_descriptions()),
+        )
+        baseline_file = REPO_ROOT / "lint-baseline.json"
+        assert baseline_file.exists()
+        kept, _, stale = apply_baseline(
+            findings, load_baseline(baseline_file)
+        )
+        assert kept == [], "\n".join(f.render() for f in kept)
+        assert stale == [], f"stale baseline entries: {stale}"
+
+    def test_per_file_rules_unaffected_by_deep_machinery(self):
+        report = lint_paths([REPO_ROOT / "src" / "repro" / "lint"])
+        assert report.clean
