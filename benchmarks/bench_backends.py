@@ -1,0 +1,261 @@
+"""Kernel backends: parity, partitioned-reduce cost, and the auto policy.
+
+The backend registry (:mod:`repro.pagerank.backends`) lets every kernel
+swap its per-iteration gather→reduce step between the flat NumPy
+reference, the PCPM-style destination-partitioned reduce, and the
+(optional) numba JIT-fused variant.  This bench answers three questions:
+
+* **Is it always the same answer?**  Every backend must match the numpy
+  reference *bitwise* on a realistic window, for all four kernels (spmv,
+  weighted, spmm, pb) — the tentpole acceptance claim.
+* **What does the slice-at-a-time NumPy partitioning cost?**  Measured
+  per-iteration propagate time at large V for numpy vs pcpm, plus the
+  one-time binning cost.  On a JIT-less host the pcpm path is a measured
+  *overhead* (the gather stays random over the full rank vector; only the
+  fused reduce realizes the locality win) — the ratio is recorded and
+  guarded so it cannot silently grow.
+* **Can ``backend="auto"`` be trusted?**  The resolved choice must land
+  within 10% of whichever fixed backend is actually faster.  Without
+  numba the cost model prices pcpm with no locality discount
+  (``fused=False``) and correctly stays flat.
+
+Results are printed, persisted as text, and emitted as JSON
+(``benchmarks/output/backends.json``); the committed baseline is
+``benchmarks/BENCH_backends.json``.
+
+Run:  pytest benchmarks/bench_backends.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks._common import BENCH_CONFIG, OUTPUT_DIR, emit, get_events, spec_for
+from repro.events import TemporalEventSet, Window
+from repro.graph import TemporalAdjacency
+from repro.pagerank import (
+    Workspace,
+    pagerank_window,
+    pagerank_window_pb,
+    pagerank_window_weighted,
+    pagerank_windows_spmm,
+)
+from repro.pagerank.backends import create_backend, numba_available, resolve_backend
+from repro.reporting import format_table
+
+PROFILE = "stackoverflow"
+DELTA_DAYS = 30
+SW_SECONDS = 86_400
+SPMM_BATCH = 4
+REPEATS = 3
+
+#: parity runs use a tiny cache budget (32 vertices/partition) so the
+#: realistic window genuinely spans dozens of partitions
+PARITY_BUDGET = 256
+
+#: the large-V propagate instance: a 16 MB rank vector (64 partitions at
+#: the default budget) with average in-degree 8
+LARGE_V = 300_000
+LARGE_M = 2_400_000
+
+#: allowed slack of the auto policy over the better fixed backend
+AUTO_SLACK = 1.10
+
+BACKENDS = ("numpy", "pcpm", "numba", "auto")
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def _parity_flags(view, views):
+    """Bitwise parity of every backend against numpy, all four kernels.
+
+    ``edge_path="masked"`` streams the *whole* stored structure through
+    each backend's plan every iteration — the largest edge list the
+    partitioning will ever see (the compacted composition is covered by
+    the unit tests).
+    """
+    cfgs = {
+        b: replace(
+            BENCH_CONFIG, backend=b, cache_budget=PARITY_BUDGET,
+            edge_path="masked",
+        )
+        for b in BACKENDS
+    }
+    kernels = {
+        "spmv": lambda cfg: pagerank_window(
+            view, cfg, workspace=Workspace()
+        ),
+        "weighted": lambda cfg: pagerank_window_weighted(
+            view, cfg, workspace=Workspace()
+        ),
+        "spmm": lambda cfg: pagerank_windows_spmm(
+            views, cfg, workspace=Workspace()
+        ),
+        "pb": lambda cfg: pagerank_window_pb(
+            view, cfg, workspace=Workspace()
+        ),
+    }
+    flags = {}
+    for name, solve in kernels.items():
+        base = solve(cfgs["numpy"])
+        flags[name] = all(
+            np.array_equal(solve(cfgs[b]).values, base.values)
+            for b in ("pcpm", "numba", "auto")
+        )
+    return flags
+
+
+def _large_v_instance(seed: int = 7):
+    """A destination-sorted random edge list over a rank vector that is
+    far larger than the cache budget."""
+    rng = np.random.default_rng(seed)
+    rows = np.sort(rng.integers(0, LARGE_V, LARGE_M)).astype(np.int64)
+    cols = rng.integers(0, LARGE_V, LARGE_M).astype(np.int64)
+    w = rng.random(LARGE_V)
+    return rows, cols, w
+
+
+def test_backends():
+    events = get_events(PROFILE)
+    spec = spec_for(events, DELTA_DAYS, SW_SECONDS, max_windows=48)
+    adj = TemporalAdjacency.from_events(events)
+    all_views = [
+        adj.window_view(spec.window(i)) for i in range(spec.n_windows)
+    ]
+    # the busiest windows: parity on a trivial slice proves nothing
+    busiest = sorted(
+        all_views, key=lambda v: v.n_active_edges, reverse=True
+    )
+    views = sorted(busiest[:SPMM_BATCH], key=lambda v: v.window.index)
+    view = busiest[0]
+
+    # -- parity: every backend bitwise vs numpy, all four kernels --------
+    flags = _parity_flags(view, views)
+
+    # -- per-iteration propagate cost at large V -------------------------
+    rows, cols, w = _large_v_instance()
+    periter_ms, bin_ms = {}, {}
+    for name in ("numpy", "pcpm"):
+        backend = create_backend(name)
+        plan, t_bin = _best_of(
+            lambda b=backend: b.make_plan(cols, rows, LARGE_V), 1
+        )
+        _, t_prop = _best_of(lambda p=plan: p.propagate(w))
+        periter_ms[name] = t_prop * 1e3
+        bin_ms[name] = t_bin * 1e3
+    pcpm_over_numpy = periter_ms["pcpm"] / periter_ms["numpy"]
+
+    # -- the auto gate: full kernel at large V ---------------------------
+    # a full-span window over a synthetic graph whose rank vector dwarfs
+    # the cache budget; auto must land within AUTO_SLACK of the better
+    # fixed backend
+    rng = np.random.default_rng(11)
+    n_v, n_e = 150_000, 900_000
+    ev = TemporalEventSet(
+        rng.integers(0, n_v, n_e),
+        rng.integers(0, n_v, n_e),
+        rng.integers(0, 10_000, n_e),
+        n_vertices=n_v,
+    )
+    big_view = TemporalAdjacency.from_events(ev).window_view(
+        Window(0, 0, 10_001)
+    )
+    seconds, runs = {}, {}
+    for name in ("numpy", "pcpm", "auto"):
+        cfg = replace(BENCH_CONFIG, backend=name)
+        runs[name], seconds[name] = _best_of(
+            lambda c=cfg: pagerank_window(big_view, c, workspace=Workspace())
+        )
+    best_fixed = min(("numpy", "pcpm"), key=seconds.get)
+    auto_over_best = seconds["auto"] / seconds[best_fixed]
+    auto_within_bound = auto_over_best <= AUTO_SLACK
+    resolved = resolve_backend(
+        replace(BENCH_CONFIG, backend="auto"),
+        big_view.n_active_edges, n_v, runs["numpy"].iterations,
+    ).name
+
+    # -- WorkStats attribution -------------------------------------------
+    pcpm_work = runs["pcpm"].work
+    stats_recorded = (
+        pcpm_work.binning_seconds > 0.0 and pcpm_work.propagate_seconds > 0.0
+    )
+
+    payload = {
+        "availability": {"numba": bool(numba_available())},
+        "parity": {k: bool(v) for k, v in flags.items()},
+        "propagate_large_v": {
+            "n_vertices": LARGE_V,
+            "n_edges": LARGE_M,
+            "numpy_ms": round(periter_ms["numpy"], 3),
+            "pcpm_ms": round(periter_ms["pcpm"], 3),
+            "pcpm_binning_ms": round(bin_ms["pcpm"], 3),
+            "pcpm_over_numpy": round(pcpm_over_numpy, 4),
+        },
+        "auto": {
+            "n_vertices": n_v,
+            "n_edges": int(big_view.n_active_edges),
+            "iterations": int(runs["numpy"].iterations),
+            "seconds_numpy": round(seconds["numpy"], 4),
+            "seconds_pcpm": round(seconds["pcpm"], 4),
+            "seconds_auto": round(seconds["auto"], 4),
+            "best_fixed": best_fixed,
+            "resolved": resolved,
+            "auto_over_best": round(auto_over_best, 4),
+            "auto_within_bound": bool(auto_within_bound),
+        },
+        "workstats": {
+            "binning_seconds": round(pcpm_work.binning_seconds, 6),
+            "propagate_seconds": round(pcpm_work.propagate_seconds, 6),
+            "recorded": bool(stats_recorded),
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "backends.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows_tbl = [
+        [k, "bitwise" if ok else "DIVERGED"] for k, ok in flags.items()
+    ]
+    text = format_table(
+        ["kernel", "numpy vs pcpm/numba/auto"], rows_tbl,
+        title=(
+            f"backend parity on {PROFILE} (window {view.window.index}, "
+            f"{adj.nnz:,} streamed events, "
+            f"cache budget {PARITY_BUDGET} B → "
+            f"{-(-adj.n_vertices // (PARITY_BUDGET // 8))} partitions)"
+        ),
+    )
+    text += (
+        f"\n\nlarge-V propagate ({LARGE_V:,} vertices, {LARGE_M:,} edges):"
+        f" numpy {periter_ms['numpy']:.2f} ms/it,"
+        f" pcpm {periter_ms['pcpm']:.2f} ms/it"
+        f" (ratio {pcpm_over_numpy:.2f}x,"
+        f" binning {bin_ms['pcpm']:.2f} ms once)"
+        f"\nnumba available: {numba_available()}"
+        f"\nauto on {n_v:,}-vertex window: resolved={resolved},"
+        f" {seconds['auto']:.3f}s vs best fixed"
+        f" {best_fixed}={seconds[best_fixed]:.3f}s"
+        f" ({auto_over_best:.3f}x, bound {AUTO_SLACK:.2f}x)"
+        f"\nworkstats: binning={pcpm_work.binning_seconds * 1e3:.2f} ms,"
+        f" propagate={pcpm_work.propagate_seconds * 1e3:.2f} ms"
+    )
+    emit("backends", text)
+
+    # the acceptance claims
+    assert all(flags.values()), flags
+    assert auto_within_bound, (
+        f"auto {auto_over_best:.3f}x over best fixed backend"
+    )
+    assert stats_recorded

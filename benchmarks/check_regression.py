@@ -48,6 +48,14 @@ GUARDED = {
     "cluster_serving": [
         (("slo", "p99_over_single_p50"), "cluster top-k p99 / single p50"),
     ],
+    # back-to-back same-machine ratios: the NumPy partitioning overhead
+    # and the auto policy's slack over the measured best fixed backend
+    "backends": [
+        (("propagate_large_v", "pcpm_over_numpy"),
+         "pcpm/numpy per-iteration propagate time"),
+        (("auto", "auto_over_best"),
+         "auto/best-fixed full-kernel time"),
+    ],
 }
 
 #: per-bench boolean invariants that must hold in the fresh results
@@ -72,6 +80,14 @@ REQUIRED_FLAGS = {
         ("overload_sheds",),
         ("no_shm_leak",),
         ("topk_p99_within_bound",),
+    ],
+    "backends": [
+        ("parity", "spmv"),
+        ("parity", "weighted"),
+        ("parity", "spmm"),
+        ("parity", "pb"),
+        ("auto", "auto_within_bound"),
+        ("workstats", "recorded"),
     ],
 }
 

@@ -402,8 +402,9 @@ class MissingDtypeRule(Rule):
         "precision and doubling memory traffic in hot kernels."
     )
     scopes = (
-        "pagerank/", "kernels/", "graph/temporal_csr",
-        "benchmarks/bench_edge_compaction",
+        "pagerank/", "pagerank/backends/", "kernels/",
+        "graph/temporal_csr", "benchmarks/bench_edge_compaction",
+        "benchmarks/bench_backends",
     )
 
     #: allocator -> index of the positional dtype parameter
@@ -447,8 +448,8 @@ class CsrPythonLoopRule(Rule):
         "segment primitives exist to avoid."
     )
     scopes = (
-        "kernels/", "pagerank/", "graph/",
-        "benchmarks/bench_edge_compaction",
+        "kernels/", "pagerank/", "pagerank/backends/", "graph/",
+        "benchmarks/bench_edge_compaction", "benchmarks/bench_backends",
     )
 
     CSR_NAMES = {

@@ -160,6 +160,8 @@ class PostmortemDriver:
         ).with_execution(options.executor, options.n_threads)
         if self.context.edge_path is not None:
             config = replace(config, edge_path=self.context.edge_path)
+        if self.context.backend is not None:
+            config = replace(config, backend=self.context.backend)
         self.config = config
         self._partition: Optional[MultiWindowPartition] = None
 
@@ -305,6 +307,7 @@ class PostmortemDriver:
         )
         result.metadata["n_multiwindows"] = len(partition)
         result.metadata["replication_factor"] = partition.replication_factor
+        result.metadata["backend"] = self.config.backend
         result.metadata["task_log"] = task_log
         result.metadata["options"] = self.options
         ctx.emit("run.done", model=self.model_name,
@@ -477,7 +480,10 @@ def solve_multiwindow_graph(
                 batch_views[0], config, x0=x0_cols[0], workspace=workspace,
                 iteration_hint=iteration_hint,
             )
-            iteration_hint = pr.iterations or None
+            # raw count on purpose: a zero (empty previous window) makes
+            # resolve_edge_path fall back to its default estimate with a
+            # debug note instead of being silently dropped here
+            iteration_hint = pr.iterations
             local_values[batch.windows[0]] = pr.values
             work.merge(pr.work)
             _emit_window(
@@ -511,9 +517,7 @@ def solve_multiwindow_graph(
                 batch_views, config, x0=X0, workspace=workspace,
                 iteration_hint=iteration_hint,
             )
-            iteration_hint = (
-                int(batch_result.iterations_per_window.max()) or None
-            )
+            iteration_hint = int(batch_result.iterations_per_window.max())
             work.merge(batch_result.work)
             for j, w in enumerate(batch.windows):
                 local_values[w] = batch_result.values[:, j].copy()

@@ -1,0 +1,41 @@
+"""Pluggable kernel backends for the per-iteration propagation step.
+
+Every PageRank kernel in the library performs the same inner step each
+power iteration: gather per-source shares along the window's edge list and
+reduce them per destination (``segment_sum_ordered``).  This package
+factors that step behind a small registry so alternative *execution
+strategies* — the flat NumPy pass, a PCPM-style destination-partitioned
+pass (Lakhotia et al.), and an optional numba-JIT variant — can be swapped
+without touching the kernels, all **bitwise-identical** by construction.
+
+``PagerankConfig.backend`` selects one (``"auto"`` asks the cost model,
+composing with ``edge_path``); :func:`resolve_backend` is the kernels'
+entry point, mirroring ``resolve_edge_path``.
+"""
+
+from repro.pagerank.backends.base import EdgePlan, KernelBackend
+from repro.pagerank.backends.numpy_backend import NumpyBackend
+from repro.pagerank.backends.pcpm import PcpmBackend, accumulate_binned
+from repro.pagerank.backends.numba_backend import NumbaBackend, numba_available
+from repro.pagerank.backends.registry import (
+    BACKEND_NAMES,
+    backend_availability,
+    create_backend,
+    resolve_backend,
+    validate_backend_name,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "EdgePlan",
+    "KernelBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "PcpmBackend",
+    "accumulate_binned",
+    "backend_availability",
+    "create_backend",
+    "numba_available",
+    "resolve_backend",
+    "validate_backend_name",
+]

@@ -1,0 +1,76 @@
+"""The default flat NumPy backend.
+
+One full-width gather + one full-width sequential segment reduction per
+iteration — exactly the op sequence the kernels inlined before the backend
+registry existed, so this backend *is* the bitwise reference the others
+are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.pagerank.backends.base import EdgePlan, KernelBackend
+from repro.utils.segments import segment_sum_ordered
+
+__all__ = ["NumpyBackend", "NumpyPlan"]
+
+
+class NumpyPlan(EdgePlan):
+    """Flat plan: no precomputation beyond holding the edge list."""
+
+    def propagate(
+        self,
+        w: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+        contrib: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if contrib is None:
+            c = np.take(w, self.col)
+        else:
+            c = contrib
+            np.take(w, self.col, out=c)
+        if mask is not None:
+            c *= mask
+        if weights is not None:
+            c *= weights
+        return segment_sum_ordered(c, self.rows, self.n_rows, out=out)
+
+    def propagate_batch(
+        self,
+        W: np.ndarray,
+        active: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        contrib: Optional[np.ndarray] = None,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if contrib is None:
+            C = np.take(W, self.col, axis=0)
+        else:
+            C = contrib
+            np.take(W, self.col, axis=0, out=C)
+        C *= active
+        return segment_sum_ordered(
+            C, self.rows, self.n_rows, out=out, scratch=scratch
+        )
+
+
+class NumpyBackend(KernelBackend):
+    """Backend producing :class:`NumpyPlan` (the bitwise reference)."""
+
+    name = "numpy"
+
+    def make_plan(
+        self,
+        col: np.ndarray,
+        rows: np.ndarray,
+        n_rows: int,
+        workspace=None,
+        key: str = "plan",
+        capacity: Optional[int] = None,
+    ) -> NumpyPlan:
+        return NumpyPlan(col, rows, n_rows)

@@ -1,0 +1,139 @@
+"""Backend registry and the kernels' ``backend="auto"`` resolution.
+
+Mirrors the ``edge_path`` machinery: :func:`resolve_backend` turns
+``PagerankConfig.backend`` into a concrete :class:`KernelBackend`
+instance, asking :func:`repro.parallel.cost_model.choose_backend` when the
+config says ``"auto"``.  The cost model decides between the *strategies*
+``"numpy"`` and ``"pcpm"``; when it picks the partitioned strategy and
+numba is importable, the registry upgrades to the JIT implementation
+(same binning, fused reduce).
+
+The two knobs compose: the kernels resolve ``edge_path`` first and hand
+this module the edge count actually traversed per iteration (``nnz`` for
+masked, ``|E_w|`` for compacted), so the backend decision prices the
+structure the iteration will really stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.pagerank.backends.base import KernelBackend
+from repro.pagerank.backends.numpy_backend import NumpyBackend
+from repro.pagerank.backends.pcpm import DEFAULT_CACHE_BUDGET, PcpmBackend
+from repro.pagerank.backends.numba_backend import (
+    NumbaBackend,
+    numba_available,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "backend_availability",
+    "create_backend",
+    "resolve_backend",
+    "validate_backend_name",
+]
+
+#: every name ``PagerankConfig.backend`` / ``run --backend`` accepts
+BACKEND_NAMES = ("auto", "numpy", "pcpm", "numba")
+
+_CLASSES = {
+    "numpy": NumpyBackend,
+    "pcpm": PcpmBackend,
+    "numba": NumbaBackend,
+}
+
+
+def validate_backend_name(name: str) -> str:
+    """Shared validation for config/CLI/context surfaces."""
+    if name not in BACKEND_NAMES:
+        raise ValidationError(
+            f"backend must be one of {BACKEND_NAMES}, got {name!r}"
+        )
+    return name
+
+
+def create_backend(
+    name: str, cache_budget: int = DEFAULT_CACHE_BUDGET
+) -> KernelBackend:
+    """Instantiate a concrete (non-``auto``) backend by registry name.
+
+    ``"numba"`` is always constructible — without numba installed its
+    plans transparently run the NumPy per-partition path (the graceful
+    degradation the tests pin down).
+    """
+    if name == "numpy":
+        return NumpyBackend()
+    if name in ("pcpm", "numba"):
+        return _CLASSES[name](cache_budget)
+    raise ValidationError(
+        f"cannot instantiate backend {name!r}; "
+        f"concrete names are {tuple(_CLASSES)}"
+    )
+
+
+def backend_availability() -> Dict[str, Tuple[bool, str]]:
+    """``{name: (available, note)}`` for every concrete backend.
+
+    The CLI ``backends`` subcommand renders this; ``numba`` reports
+    availability of the JIT itself, with a note that the name still
+    resolves (degraded) when the import fails.
+    """
+    has_numba = numba_available()
+    return {
+        "numpy": (True, "flat full-width gather/reduce (reference)"),
+        "pcpm": (
+            True,
+            "destination-partitioned NumPy reduce "
+            f"(default cache budget {DEFAULT_CACHE_BUDGET} B)",
+        ),
+        "numba": (
+            has_numba,
+            "JIT-fused per-partition reduce"
+            if has_numba
+            else "numba not importable; degrades to the pcpm NumPy reduce",
+        ),
+    }
+
+
+def resolve_backend(
+    config,
+    n_edges: int,
+    n_vertices: int,
+    iteration_hint: Optional[int] = None,
+) -> KernelBackend:
+    """Turn ``config.backend`` into a concrete backend instance.
+
+    ``n_edges`` must be the per-iteration traversed edge count *after*
+    the ``edge_path`` resolution.  ``"auto"`` asks the cost model with
+    the same iteration estimate policy as ``resolve_edge_path`` (the
+    chain's ``iteration_hint`` when positive, else the conservative
+    default capped by the iteration budget).  Numba's availability is
+    passed as the model's ``fused`` flag — without the JIT the
+    partitioned strategy has no locality win to amortize its binning
+    (measured; see the cost-model docstring), so ``"auto"`` resolves to
+    ``"numpy"`` on JIT-less hosts and a ``"pcpm"`` verdict always
+    upgrades to the numba implementation.
+    """
+    name = config.backend
+    if name != "auto":
+        return create_backend(name, config.cache_budget)
+    # lazy import: repro.parallel pulls in the executor stack; the kernels
+    # must stay importable without it at module-import time
+    from repro.parallel.cost_model import (
+        DEFAULT_EXPECTED_ITERATIONS,
+        choose_backend,
+    )
+
+    if iteration_hint is not None and iteration_hint > 0:
+        expected = min(iteration_hint, config.max_iterations)
+    else:
+        expected = min(config.max_iterations, DEFAULT_EXPECTED_ITERATIONS)
+    has_jit = numba_available()
+    strategy = choose_backend(
+        n_edges, n_vertices, expected, config.cache_budget, fused=has_jit
+    )
+    if strategy == "pcpm" and has_jit:
+        strategy = "numba"
+    return create_backend(strategy, config.cache_budget)

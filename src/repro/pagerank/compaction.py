@@ -30,6 +30,7 @@ pins the decision (``"masked"`` / ``"compacted"``) or delegates it
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
@@ -37,6 +38,10 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.utils.segments import lengths_to_indptr, segment_count
+
+#: one-shot latch for the non-positive iteration_hint debug note (tests
+#: reset it to observe the message again)
+_NONPOSITIVE_HINT_NOTED = False
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.graph.temporal_csr import WindowView
@@ -267,6 +272,13 @@ def resolve_edge_path(
     the previous window of the chain, whose spectrum is nearly identical)
     when available, otherwise a conservative default capped by the
     config's iteration budget.
+
+    A non-positive hint — a previous window that converged in zero
+    iterations (empty window) or a driver that deliberately passes its
+    raw counter — also falls back to the default, but *audibly*: a single
+    debug-level note per process, because a chain that silently treats
+    "converged instantly" as "no information" is hard to diagnose when
+    the crossover lands on the wrong side.
     """
     path = config.edge_path
     if path != "auto":
@@ -281,6 +293,16 @@ def resolve_edge_path(
     if iteration_hint is not None and iteration_hint > 0:
         expected = min(iteration_hint, config.max_iterations)
     else:
+        if iteration_hint is not None:
+            global _NONPOSITIVE_HINT_NOTED
+            if not _NONPOSITIVE_HINT_NOTED:
+                _NONPOSITIVE_HINT_NOTED = True
+                logging.getLogger(__name__).debug(
+                    "edge_path='auto' received iteration_hint=%d; falling "
+                    "back to DEFAULT_EXPECTED_ITERATIONS=%d (noted once "
+                    "per process)",
+                    iteration_hint, DEFAULT_EXPECTED_ITERATIONS,
+                )
         expected = min(config.max_iterations, DEFAULT_EXPECTED_ITERATIONS)
     return choose_edge_path(nnz, n_active_edges, n_vertices, expected)
 

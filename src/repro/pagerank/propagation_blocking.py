@@ -17,12 +17,15 @@ the ablation bench verify.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import WindowView
+from repro.pagerank.backends import resolve_backend
+from repro.pagerank.backends.pcpm import accumulate_binned
 from repro.pagerank.compaction import compact_push
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
@@ -38,10 +41,20 @@ class PropagationBlockingKernel:
     edges are grouped by destination bin (``dst >> log2(bin_width)``), so
     each iteration only gathers, scatters into bin-contiguous buffers, and
     accumulates bin by bin.
+
+    ``backend`` optionally supplies the destination-bin width policy
+    (:meth:`~repro.pagerank.backends.base.KernelBackend.pb_bin_width`):
+    the cache-budgeted backends size PB's bins exactly like their pull
+    partitions, so one ``cache_budget`` knob governs both directions.
+    The per-bin accumulation itself is the shared
+    :func:`~repro.pagerank.backends.pcpm.accumulate_binned`, and the
+    output is bitwise-invariant in the bin width (each destination lives
+    in one bin; the stable sort preserves within-destination order).
     """
 
     def __init__(
-        self, view: WindowView, n_bins: int = 16, workspace=None
+        self, view: WindowView, n_bins: int = 16, workspace=None,
+        backend=None,
     ) -> None:
         if n_bins <= 0:
             raise ValidationError("n_bins must be > 0")
@@ -55,8 +68,14 @@ class PropagationBlockingKernel:
         self.src, self.dst = compact_push(view, workspace=workspace)
         self.n_vertices = adjacency.n_vertices
 
-        self.n_bins = min(n_bins, max(self.n_vertices, 1))
-        bin_width = -(-self.n_vertices // self.n_bins)
+        if backend is not None:
+            bin_width = max(
+                1, backend.pb_bin_width(self.n_vertices, n_bins)
+            )
+            self.n_bins = max(1, -(-self.n_vertices // bin_width))
+        else:
+            self.n_bins = min(n_bins, max(self.n_vertices, 1))
+            bin_width = -(-self.n_vertices // self.n_bins)
         bins = self.dst // max(bin_width, 1)
         order = np.argsort(bins, kind="stable")
         self.src = self.src[order]
@@ -86,24 +105,16 @@ class PropagationBlockingKernel:
             )
             np.take(w, self.src, out=contrib)
         # phase 2: per-bin accumulation — each bin's destination range is
-        # contiguous and cache-sized
+        # contiguous and cache-sized (shared with the PCPM pull backend)
         if out is None:
             y = np.zeros(self.n_vertices, dtype=np.float64)
         else:
             y = out
             y.fill(0)
-        for b in range(self.n_bins):
-            lo, hi = self.bin_starts[b], self.bin_ends[b]
-            if lo == hi:
-                continue
-            base = b * self.bin_width
-            width = min(self.bin_width, self.n_vertices - base)
-            local = np.bincount(
-                self.dst[lo:hi] - base, weights=contrib[lo:hi],
-                minlength=width,
-            )
-            y[base: base + width] += local[:width]
-        return y
+        return accumulate_binned(
+            contrib, self.dst, self.bin_starts, self.bin_ends,
+            self.bin_width, y,
+        )
 
 
 def pagerank_window_pb(
@@ -128,8 +139,16 @@ def pagerank_window_pb(
             values=np.zeros(n, dtype=np.float64), iterations=0, converged=True, residual=0.0
         )
     ws = workspace
+    work = WorkStats()
     if kernel is None:
-        kernel = PropagationBlockingKernel(view, n_bins=n_bins, workspace=ws)
+        # the backend only contributes its bin-width policy here; the PB
+        # push is already destination-binned by construction
+        backend = resolve_backend(config, view.n_active_edges, n, None)
+        t_bin = time.perf_counter()
+        kernel = PropagationBlockingKernel(
+            view, n_bins=n_bins, workspace=ws, backend=backend
+        )
+        work.binning_seconds += time.perf_counter() - t_bin
     elif ws is None:
         ws = kernel.workspace
 
@@ -160,16 +179,17 @@ def pagerank_window_pb(
     alpha = config.alpha
     damping = config.damping
     teleport = alpha / n_active
-    work = WorkStats()
     residual = np.inf
 
     for it in range(1, config.max_iterations + 1):
+        t_prop = time.perf_counter()
         if ws is None:
             w = x * inv_out
             y = kernel.iterate(w)
         else:
             np.multiply(x, inv_out, out=w_buf)
             y = kernel.iterate(w_buf, out=rank1 if x is rank0 else rank0)
+        work.propagate_seconds += time.perf_counter() - t_prop
         y *= damping
         if config.dangling == "uniform" and dangling_idx.size:
             if ws is None:

@@ -32,18 +32,31 @@ class WorkStats:
         Iterations × active (deduplicated) edges — the useful work.
     vertex_ops:
         Iterations × vertices updated.
+    binning_seconds:
+        Wall-clock spent in the backend's one-time edge-plan setup (the
+        PCPM destination-partition binning; ~0 for the flat numpy plan).
+        Unlike the counters above this is machine-*dependent* — it exists
+        so benchmarks and the traffic harness can attribute backend wins
+        without re-profiling.
+    propagate_seconds:
+        Wall-clock spent inside the backend's per-iteration
+        gather→reduce propagation calls.
     """
 
     iterations: int = 0
     edge_traversals: int = 0
     active_edge_traversals: int = 0
     vertex_ops: int = 0
+    binning_seconds: float = 0.0
+    propagate_seconds: float = 0.0
 
     def merge(self, other: "WorkStats") -> None:
         self.iterations += other.iterations
         self.edge_traversals += other.edge_traversals
         self.active_edge_traversals += other.active_edge_traversals
         self.vertex_ops += other.vertex_ops
+        self.binning_seconds += other.binning_seconds
+        self.propagate_seconds += other.propagate_seconds
 
     @classmethod
     def accumulate(cls, stats_list) -> "WorkStats":

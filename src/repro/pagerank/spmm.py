@@ -27,17 +27,18 @@ shrinks accordingly.  Bitwise-identical to the masked batch.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import WindowView
+from repro.pagerank.backends import resolve_backend
 from repro.pagerank.compaction import compact_pull_union, resolve_edge_path
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
 from repro.pagerank.result import BatchPagerankResult, WorkStats
-from repro.utils.segments import segment_sum_ordered
 
 __all__ = ["pagerank_windows_spmm"]
 
@@ -116,6 +117,14 @@ def pagerank_windows_spmm(
         )
         it_col, it_rows, it_nnz = in_csr.col, in_csr.row_ids(), nnz
 
+    work = WorkStats()
+    backend = resolve_backend(config, it_nnz, n, iteration_hint)
+    t_bin = time.perf_counter()
+    plan = backend.make_plan(
+        it_col, it_rows, n, workspace=ws, key="spmm.plan", capacity=nnz,
+    )
+    work.binning_seconds += time.perf_counter() - t_bin
+
     if ws is None:
         inv_out = np.empty((n, k), dtype=np.float64)
         active = np.stack([v.active_vertices_mask for v in views], axis=1)
@@ -168,13 +177,13 @@ def pagerank_windows_spmm(
     converged = n_active == 0  # empty windows are trivially done
     residuals[converged] = 0.0
     X[:, converged] = 0.0
-    work = WorkStats()
 
     live = ~converged
     it = 0
     while live.any() and it < config.max_iterations:
         it += 1
         idx = np.flatnonzero(live)
+        t_prop = time.perf_counter()
         if ws is not None and idx.size == k:
             # full-width fast path: every window still live, so the
             # workspace buffers apply directly with no column selection
@@ -182,12 +191,10 @@ def pagerank_windows_spmm(
             W = np.multiply(
                 X, inv_out, out=ws.buffer("spmm.W", (n, k), np.float64)
             )
-            C = ws.buffer("spmm.C", (nnz, k), np.float64)[:it_nnz]
-            np.take(W, it_col, axis=0, out=C)
-            C *= dedup
-            Y = segment_sum_ordered(
-                C, it_rows, n,
+            Y = plan.propagate_batch(
+                W, dedup,
                 out=ws.buffer("spmm.Y", (n, k), np.float64),
+                contrib=ws.buffer("spmm.C", (nnz, k), np.float64)[:it_nnz],
                 scratch=ws.buffer("spmm.colbuf", (nnz,), np.float64)[:it_nnz],
             )
             act = active
@@ -197,10 +204,10 @@ def pagerank_windows_spmm(
             W = Xl * inv_out[:, idx]
             # one structure pass for every live window (over the packed
             # union when compacted — column selection composes with it)
-            C = W[it_col, :] * dedup[:, idx]
-            Y = segment_sum_ordered(C, it_rows, n)
+            Y = plan.propagate_batch(W, dedup[:, idx])
             act = active[:, idx]
             dang = dangling[:, idx]
+        work.propagate_seconds += time.perf_counter() - t_prop
         Y *= damping
         if config.dangling == "uniform":
             dmass = np.sum(Xl * dang, axis=0)

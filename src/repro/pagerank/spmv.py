@@ -28,17 +28,18 @@ supplies one).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import WindowView
+from repro.pagerank.backends import resolve_backend
 from repro.pagerank.compaction import resolve_edge_path
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
 from repro.pagerank.result import PagerankResult, WorkStats
-from repro.utils.segments import segment_sum_ordered
 
 __all__ = ["pagerank_window"]
 
@@ -107,6 +108,19 @@ def pagerank_window(
     else:
         it_col, it_rows = in_csr.col, in_csr.row_ids()
         it_nnz = nnz
+    it_mask = dedup if path != "compacted" else None
+
+    # the backend prices the edges the iteration actually streams (after
+    # the edge_path decision) and precomputes its per-window plan once —
+    # the PCPM destination binning, pooled like the compaction buffers
+    work = WorkStats()
+    backend = resolve_backend(config, it_nnz, n, iteration_hint)
+    t_bin = time.perf_counter()
+    plan = backend.make_plan(
+        it_col, it_rows, n,
+        workspace=workspace, key="spmv.plan", capacity=nnz,
+    )
+    work.binning_seconds += time.perf_counter() - t_bin
 
     ws = workspace
     if ws is not None:
@@ -137,24 +151,18 @@ def pagerank_window(
     alpha = config.alpha
     damping = config.damping
     teleport = alpha / n_active
-    work = WorkStats()
     residual = np.inf
 
     for it in range(1, config.max_iterations + 1):
+        t_prop = time.perf_counter()
         if ws is None:
             w = x * inv_out
-            if path == "compacted":
-                contrib = w[it_col]
-            else:
-                contrib = np.where(dedup, w[it_col], 0.0)
-            y = segment_sum_ordered(contrib, it_rows, n)
+            y = plan.propagate(w, mask=it_mask)
         else:
             np.multiply(x, inv_out, out=w_buf)
-            np.take(w_buf, it_col, out=contrib)
-            if path != "compacted":
-                contrib *= dedup
             y = rank1 if x is rank0 else rank0
-            segment_sum_ordered(contrib, it_rows, n, out=y)
+            plan.propagate(w_buf, mask=it_mask, out=y, contrib=contrib)
+        work.propagate_seconds += time.perf_counter() - t_prop
         y *= damping
         if config.dangling == "uniform" and dangling_idx.size:
             if ws is None:

@@ -20,17 +20,18 @@ window from the timestamps.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.graph.temporal_csr import TemporalCSR, WindowView
+from repro.pagerank.backends import resolve_backend
 from repro.pagerank.compaction import compact_pull_weighted, resolve_edge_path
 from repro.pagerank.config import PagerankConfig
 from repro.pagerank.init import full_initialization
 from repro.pagerank.result import PagerankResult, WorkStats
-from repro.utils.segments import segment_sum_ordered
 
 __all__ = ["window_edge_weights", "pagerank_window_weighted"]
 
@@ -113,6 +114,16 @@ def pagerank_window_weighted(
     else:
         it_col, it_rows, it_weights = col, in_csr.row_ids(), weights
         it_nnz = nnz
+    it_mask = dedup if path != "compacted" else None
+
+    work = WorkStats()
+    backend = resolve_backend(config, it_nnz, n, iteration_hint)
+    t_bin = time.perf_counter()
+    plan = backend.make_plan(
+        it_col, it_rows, n,
+        workspace=workspace, key="wspmv.plan", capacity=nnz,
+    )
+    work.binning_seconds += time.perf_counter() - t_bin
 
     ws = workspace
     if ws is not None:
@@ -139,25 +150,21 @@ def pagerank_window_weighted(
     alpha = config.alpha
     damping = config.damping
     teleport = alpha / n_active
-    work = WorkStats()
     residual = np.inf
 
     for it in range(1, config.max_iterations + 1):
+        t_prop = time.perf_counter()
         if ws is None:
             w = x * inv_strength
-            if path == "compacted":
-                contrib = it_weights * w[it_col]
-            else:
-                contrib = it_weights * np.where(dedup, w[it_col], 0.0)
-            y = segment_sum_ordered(contrib, it_rows, n)
+            y = plan.propagate(w, mask=it_mask, weights=it_weights)
         else:
             np.multiply(x, inv_strength, out=w_buf)
-            np.take(w_buf, it_col, out=contrib_buf)
-            if path != "compacted":
-                contrib_buf *= dedup
-            contrib_buf *= it_weights
             y = rank1 if x is rank0 else rank0
-            segment_sum_ordered(contrib_buf, it_rows, n, out=y)
+            plan.propagate(
+                w_buf, mask=it_mask, weights=it_weights,
+                out=y, contrib=contrib_buf,
+            )
+        work.propagate_seconds += time.perf_counter() - t_prop
         y *= damping
         if config.dangling == "uniform" and dangling_idx.size:
             if ws is None:

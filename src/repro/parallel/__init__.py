@@ -33,6 +33,7 @@ from repro.parallel.partitioners import (
 from repro.parallel.cost_model import (
     CostModel,
     calibrate_cost_model,
+    choose_backend,
     choose_edge_path,
     default_cost_model,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "contiguous_blocks",
     "CostModel",
     "calibrate_cost_model",
+    "choose_backend",
     "choose_edge_path",
     "default_cost_model",
     "simulate_parallel_for",

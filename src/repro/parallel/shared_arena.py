@@ -414,9 +414,18 @@ class _SinkDrain:
         return self.error
 
 
-def _init_worker(sink_queue) -> None:
-    """Pool initializer: installs the result queue in the worker."""
+def _init_worker(sink_queue, worker, args) -> None:
+    """Pool initializer: installs the per-run constants in the worker.
+
+    The result queue, the worker callable, and the shared ``args`` tuple
+    are identical for every task of a run, so they ride the initializer
+    (pickled once per worker process) instead of every task submission —
+    task payloads stay at "handle + index", which is what the
+    zero-payload probe asserts.
+    """
     _WORKER_STATE["sink_queue"] = sink_queue
+    _WORKER_STATE["worker"] = worker
+    _WORKER_STATE["args"] = args
 
 
 def _worker_sink(window_index: int, values, meta) -> None:
@@ -429,36 +438,27 @@ def _worker_sink(window_index: int, values, meta) -> None:
     queue.put((window_index, values, meta))
 
 
-def _run_task(
-    handle: SharedGraphHandle,
-    index: int,
-    worker: Callable,
-    args: Tuple,
-    use_sink: bool,
-):
+def _run_task(handle: SharedGraphHandle, index: int):
     """Module-level task shim executed inside worker processes."""
     graph = handle.materialize()
-    sink = _worker_sink if use_sink else None
-    return worker(graph, index, sink, *args)
+    sink = _worker_sink if _WORKER_STATE.get("sink_queue") is not None else None
+    return _WORKER_STATE["worker"](graph, index, sink, *_WORKER_STATE["args"])
 
 
-def _run_arena_task(
-    handle: ArenaHandle,
-    payload,
-    index: int,
-    worker: Callable,
-    args: Tuple,
-    use_sink: bool,
-):
+def _run_arena_task(handle: ArenaHandle, payload, index: int):
     """Module-level task shim for :func:`run_arena_tasks` workers."""
     view = attach_arena(handle)
-    sink = _worker_sink if use_sink else None
-    return worker(view, payload, index, sink, *args)
+    sink = _worker_sink if _WORKER_STATE.get("sink_queue") is not None else None
+    return _WORKER_STATE["worker"](
+        view, payload, index, sink, *_WORKER_STATE["args"]
+    )
 
 
 def _pool_map(
     task_fn: Callable,
     payloads: Sequence[Tuple],
+    worker: Callable,
+    args: Tuple,
     n_workers: int,
     ctx,
     value_sink: Optional[Callable],
@@ -473,27 +473,31 @@ def _pool_map(
     executes ``task_fn(*payload)`` per payload in submission order, and
     re-raises the first sink error after the pool winds down.  The caller
     owns arena publication and reclamation.
+
+    ``worker`` and ``args`` are shipped once per worker process via the
+    pool initializer, not per task — ``stats["init_bytes"]`` records that
+    one-time cost, ``stats["payload_bytes"]`` the per-task traffic.
     """
     stats["payload_bytes"] = sum(
         len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
         for p in payloads
     )
+    stats["init_bytes"] = len(
+        pickle.dumps((worker, args), protocol=pickle.HIGHEST_PROTOCOL)
+    )
     stats["n_tasks"] = len(payloads)
 
     drain: Optional[_SinkDrain] = None
-    initializer = None
-    initargs: Tuple = ()
     if value_sink is not None:
         drain = _SinkDrain(value_sink, ctx)
         drain.start()
-        initializer = _init_worker
-        initargs = (drain.queue,)
+    initargs = (drain.queue if drain is not None else None, worker, args)
 
     try:
         with ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=ctx,
-            initializer=initializer,
+            initializer=_init_worker,
             initargs=initargs,
         ) as pool:
             futures = [pool.submit(task_fn, *p) for p in payloads]
@@ -537,12 +541,10 @@ def run_shared_tasks(
         stats["arena_bytes"] = registry.total_bytes
         stats["segments"] = list(registry.segments)
 
-        task_payloads = [
-            (h, i, worker, tuple(args), value_sink is not None)
-            for i, h in enumerate(handles)
-        ]
+        task_payloads = [(h, i) for i, h in enumerate(handles)]
         results = _pool_map(
-            _run_task, task_payloads, n_workers, ctx, value_sink, stats
+            _run_task, task_payloads, worker, tuple(args),
+            n_workers, ctx, value_sink, stats,
         )
     finally:
         registry.close(unlink=True)
@@ -583,12 +585,10 @@ def run_arena_tasks(
         stats["arena_bytes"] = registry.total_bytes
         stats["segments"] = list(registry.segments)
 
-        task_payloads = [
-            (handle, p, i, worker, tuple(args), value_sink is not None)
-            for i, p in enumerate(payloads)
-        ]
+        task_payloads = [(handle, p, i) for i, p in enumerate(payloads)]
         results = _pool_map(
-            _run_arena_task, task_payloads, n_workers, ctx, value_sink, stats
+            _run_arena_task, task_payloads, worker, tuple(args),
+            n_workers, ctx, value_sink, stats,
         )
     finally:
         registry.close(unlink=True)

@@ -135,6 +135,11 @@ class DriverContext:
         (``"auto"``/``"masked"``/``"compacted"``).  ``None`` defers to the
         config — drivers apply the override by replacing their config's
         field, so kernels never consult the context directly.
+    backend:
+        Optional runtime override for
+        :attr:`repro.pagerank.config.PagerankConfig.backend`
+        (``"auto"``/``"numpy"``/``"pcpm"``/``"numba"``), applied the same
+        way as ``edge_path``.
     """
 
     executor: str = "serial"
@@ -143,6 +148,7 @@ class DriverContext:
     progress: Optional[ProgressFn] = None
     trace: Optional[TraceFn] = None
     edge_path: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.errors import ValidationError
@@ -158,6 +164,10 @@ class DriverContext:
             from repro.pagerank.compaction import validate_edge_path
 
             validate_edge_path(self.edge_path)
+        if self.backend is not None:
+            from repro.pagerank.backends import validate_backend_name
+
+            validate_backend_name(self.backend)
 
     # ------------------------------------------------------------------
     def with_execution(self, executor: str, n_workers: int) -> "DriverContext":

@@ -251,6 +251,45 @@ class TestEdgePathSelection:
         cfg = PagerankConfig(edge_path="auto", max_iterations=1)
         assert resolve_edge_path(cfg, 10_000, 500, 100, 400) == "masked"
 
+    def test_nonpositive_hint_falls_back_to_default_audibly(
+        self, monkeypatch, caplog
+    ):
+        import logging
+
+        from repro.pagerank import compaction
+
+        monkeypatch.setattr(compaction, "_NONPOSITIVE_HINT_NOTED", False)
+        cfg = PagerankConfig(edge_path="auto", max_iterations=500)
+        with caplog.at_level(
+            logging.DEBUG, logger="repro.pagerank.compaction"
+        ):
+            # hint=0 (a previous empty window) behaves exactly like "no
+            # hint": the conservative default, not "zero iterations"
+            assert resolve_edge_path(cfg, 10_000, 500, 100, 0) \
+                == resolve_edge_path(cfg, 10_000, 500, 100, None)
+            notes = [
+                r for r in caplog.records
+                if "iteration_hint=0" in r.getMessage()
+            ]
+            assert len(notes) == 1
+            assert "DEFAULT_EXPECTED_ITERATIONS" in notes[0].getMessage()
+            # the note is a one-shot latch, not per-call noise
+            resolve_edge_path(cfg, 10_000, 500, 100, 0)
+            assert len(
+                [
+                    r for r in caplog.records
+                    if "iteration_hint" in r.getMessage()
+                ]
+            ) == 1
+
+    def test_nonpositive_hint_crossover_boundary(self):
+        # at the 10_000/500 structure the default (20 expected
+        # iterations) amortizes the pack but a true hint of 1 does not:
+        # hint=0 must land on the default's side of the crossover
+        cfg = PagerankConfig(edge_path="auto", max_iterations=500)
+        assert resolve_edge_path(cfg, 10_000, 500, 100, 0) == "compacted"
+        assert resolve_edge_path(cfg, 10_000, 500, 100, 1) == "masked"
+
     def test_default_expected_iterations_positive(self):
         assert DEFAULT_EXPECTED_ITERATIONS > 0
 

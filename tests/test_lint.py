@@ -636,3 +636,17 @@ class TestRepositoryIsClean:
         }
         assert {"mmap-escape", "lock-discipline", "lock-blocking-call",
                 "silent-except", "mutable-default"} <= applicable
+
+    def test_scopes_cover_the_kernel_backends(self):
+        # the backend package holds the hottest allocation and loop
+        # sites in the tree (PCPM binning + per-partition reduce), so
+        # the dtype and CSR-loop rules must reach it, and the bench
+        # that times it
+        for path in (
+            "src/repro/pagerank/backends/pcpm.py",
+            "benchmarks/bench_backends.py",
+        ):
+            applicable = {
+                r.name for r in ALL_RULES if r.applies_to(path)
+            }
+            assert {"missing-dtype", "csr-python-loop"} <= applicable, path

@@ -107,6 +107,30 @@ def test_spmm_columns_equal_spmv(view, k):
         assert np.allclose(batch.values[:, j], single.values, atol=1e-8)
 
 
+@given(window_instances(), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_backend_never_changes_values(view, use_workspace):
+    """``backend`` is a pure execution-strategy knob: numpy, pcpm, numba
+    (degraded or not) and auto produce bitwise-identical values, with
+    owned and workspace-pooled buffers alike."""
+    from repro.pagerank import Workspace
+
+    def solve(backend):
+        ws = Workspace() if use_workspace else None
+        return pagerank_window(
+            view,
+            replace(CFG, backend=backend, cache_budget=64),
+            workspace=ws,
+        )
+
+    baseline = solve("numpy")
+    for backend in ("pcpm", "numba", "auto"):
+        r = solve(backend)
+        assert np.array_equal(r.values, baseline.values)
+        assert r.iterations == baseline.iterations
+        assert r.converged == baseline.converged
+
+
 @given(window_instances())
 @settings(max_examples=100, deadline=None)
 def test_edge_path_never_changes_values(view):
