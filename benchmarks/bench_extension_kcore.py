@@ -8,12 +8,20 @@ advantages carry over: the postmortem model avoids both the per-window
 rebuild (offline) and the structure-maintenance + snapshot costs
 (streaming).
 
+Results are printed, persisted as text, and emitted as JSON
+(``benchmarks/output/extension_kcore.json``); the committed baseline is
+``benchmarks/BENCH_extension_kcore.json`` and the CI ``bench-smoke`` job
+gates the cross-model parity flag and the postmortem-vs-offline ratio
+through ``check_regression.py``.
+
 Run:  pytest benchmarks/bench_extension_kcore.py --benchmark-only -s
 """
 
 from __future__ import annotations
 
-from benchmarks._common import emit, get_events, spec_for
+import json
+
+from benchmarks._common import OUTPUT_DIR, emit, get_events, spec_for
 from repro.kernels import max_core
 from repro.models.kernel_models import (
     offline_kernel_run,
@@ -70,7 +78,9 @@ def graph_max_core(graph, active):
 
 def run_extension():
     rows = []
-    ratios = []
+    stream_ratios = []
+    datasets = {}
+    values_match = True
     for name, ws, sw in CONFIGS:
         events = get_events(name)
         spec = spec_for(events, ws, sw)
@@ -79,8 +89,19 @@ def run_extension():
         pm = postmortem_kernel_run(
             events, spec, graph_max_core, 6, view_kernel=max_core
         )
-        assert off.values == stream.values == pm.values
-        ratios.append(stream.total_time / pm.total_time)
+        match = off.values == stream.values == pm.values
+        values_match = values_match and match
+        stream_ratios.append(stream.total_time / pm.total_time)
+        datasets[name] = {
+            "n_windows": spec.n_windows,
+            "max_degeneracy": int(max(off.values)),
+            "offline_s": round(off.total_time, 4),
+            "streaming_s": round(stream.total_time, 4),
+            "postmortem_s": round(pm.total_time, 4),
+            "pm_over_offline": round(pm.total_time / off.total_time, 4),
+            "stream_over_pm": round(stream.total_time / pm.total_time, 4),
+            "values_match": bool(match),
+        }
         rows.append(
             [
                 name,
@@ -92,6 +113,27 @@ def run_extension():
                 round(stream.total_time / pm.total_time, 2),
             ]
         )
+    # the headline representational claim for a non-PageRank kernel:
+    # postmortem avoids the streaming model's structure-maintenance and
+    # snapshot costs (the boolean below), and stays within a bounded
+    # factor of the embarrassingly-cheap offline rebuild (the guarded
+    # ratio — at this peeling-dominated scale offline's per-window build
+    # is not the bottleneck, so postmortem tracks rather than beats it).
+    # both quotients are back-to-back same-machine, so they are stable
+    # where absolute wall-clock is not
+    pm_over_offline_worst = max(
+        d["pm_over_offline"] for d in datasets.values()
+    )
+    payload = {
+        "datasets": datasets,
+        "values_match": bool(values_match),
+        "pm_beats_streaming": bool(all(r > 1.0 for r in stream_ratios)),
+        "pm_over_offline_worst": pm_over_offline_worst,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "extension_kcore.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
     text = format_table(
         [
             "dataset",
@@ -108,11 +150,14 @@ def run_extension():
             "execution models (identical results asserted)"
         ),
     )
-    return text, ratios
+    return text, stream_ratios, payload
 
 
 def test_extension_kcore(benchmark):
-    text, ratios = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    text, stream_ratios, payload = benchmark.pedantic(
+        run_extension, rounds=1, iterations=1
+    )
     emit("extension_kcore", text)
     # the postmortem representation advantage carries over to k-core
-    assert all(r > 1.0 for r in ratios)
+    assert payload["values_match"]
+    assert payload["pm_beats_streaming"]

@@ -98,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution model (paper Section 3.3); every "
                        "model honours --store/--save, executors where its "
                        "dependence structure permits")
+    p_run.add_argument("--program", default="pagerank",
+                       choices=["pagerank", "katz", "kcore"],
+                       help="vertex program to run on the engine "
+                       "(default: pagerank; every model supports every "
+                       "program)")
     p_run.add_argument("--multiwindows", type=int, default=6)
     p_run.add_argument("--kernel", choices=["spmv", "spmm"], default="spmm")
     p_run.add_argument("--vector-length", type=int, default=16)
@@ -450,6 +455,7 @@ def cmd_run(args, out) -> int:
         # or rebuild their config still honour the CLI choice
         edge_path=None if args.edge_path == "auto" else args.edge_path,
         backend=None if args.backend == "auto" else args.backend,
+        program=args.program,
     )
     driver = make_driver(
         args.model,
@@ -467,6 +473,7 @@ def cmd_run(args, out) -> int:
             n_windows=spec.n_windows,
             n_vertices=events.n_vertices,
             model=driver.model_name,
+            program=driver.program.name,
             spec=spec,
             dtype=args.store_dtype,
         ) as writer:
@@ -492,14 +499,15 @@ def cmd_run(args, out) -> int:
         format_table(
             ["window", "|V|", "|E|", "iters", f"top-{args.top}"],
             rows,
-            title=f"{args.model} PageRank over {spec.n_windows} windows",
+            title=f"{args.model} {args.program} over "
+            f"{spec.n_windows} windows",
         ),
         file=out,
     )
     print(
         f"\ntotal {run.total_time:.3f}s "
         f"(build {run.timings.totals.get('build', 0):.3f}s, "
-        f"pagerank {run.timings.totals.get('pagerank', 0):.3f}s)",
+        f"solve {run.timings.totals.get('pagerank', 0):.3f}s)",
         file=out,
     )
     return 0

@@ -12,8 +12,10 @@ temporal-CSR window machinery:
 * :mod:`repro.kernels.katz` — Katz centrality (iterative, with the same
   partial-initialization warm start the paper develops for PageRank).
 
-:class:`repro.kernels.driver.TemporalKernelDriver` runs any per-window
-kernel over a window spec through the multi-window representation.
+:class:`repro.programs.adapter.TemporalKernelDriver` (re-exported here;
+``repro.kernels.driver`` remains as a deprecated alias module) runs any
+per-window kernel over a window spec through the multi-window
+representation on the vertex-program engine.
 """
 
 from repro.kernels.degree import degree_centrality
@@ -24,7 +26,7 @@ from repro.kernels.katz_spmm import katz_windows_spmm
 from repro.kernels.bfs import bfs_distances, bfs_levels
 from repro.kernels.closeness import closeness_centrality
 from repro.kernels.betweenness import betweenness_centrality
-from repro.kernels.driver import TemporalKernelDriver, KernelWindowResult
+from repro.programs.adapter import TemporalKernelDriver, KernelWindowResult
 
 __all__ = [
     "degree_centrality",

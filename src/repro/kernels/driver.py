@@ -1,162 +1,28 @@
-"""Generic postmortem driver for any per-window analysis kernel.
+"""Deprecated location of the generic kernel driver.
 
-Runs an arbitrary kernel (a callable taking a
-:class:`~repro.graph.temporal_csr.WindowView`) over every window of a
-spec, routed through the multi-window representation — the same
-single-build, Θ(|E_w|)-per-window machinery the PageRank drivers use, made
-available for degree/components/k-core/Katz and any user-supplied kernel.
-
-Since the unified-runtime refactor the driver returns the same
-:class:`~repro.models.base.RunResult` every model driver returns (kernel
-outputs live in each window's generic ``value`` slot; use
-``result.series(...)`` / ``result.kernel_values()``), honours the shared
-``run(store_values=..., value_sink=..., progress=...)`` contract, and
-supports the ``serial`` and ``thread`` executors.  The former
-``KernelRunResult`` type is gone; ``KernelWindowResult`` survives as an
-alias of :class:`~repro.models.base.WindowResult`.
+:class:`TemporalKernelDriver` now lives in :mod:`repro.programs.adapter`,
+where it runs user-supplied kernels through the vertex-program engine
+(:func:`repro.programs.engine.solve_program_chain`) instead of a private
+window loop.  This module re-exports the public names so existing imports
+keep working; new code should import from :mod:`repro.kernels` (which
+itself re-exports from the adapter) or :mod:`repro.programs.adapter`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import warnings
 
-import numpy as np
-
-from repro.errors import ValidationError
-from repro.events.event_set import TemporalEventSet
-from repro.events.windows import WindowSpec
-from repro.graph.multiwindow import MultiWindowPartition
-from repro.graph.temporal_csr import WindowView
-from repro.models.base import RunResult, WindowResult
-from repro.runtime.base import record_run_metadata
-from repro.runtime.context import DriverContext
-from repro.runtime.execution import map_tasks, require_executor
-from repro.runtime.sinks import chain_sinks
+from repro.programs.adapter import (  # noqa: F401
+    Kernel,
+    KernelWindowResult,
+    TemporalKernelDriver,
+)
 
 __all__ = ["KernelWindowResult", "TemporalKernelDriver"]
 
-Kernel = Callable[[WindowView], Any]
-
-#: compatibility alias: one window's kernel output now rides in
-#: ``WindowResult.value``
-KernelWindowResult = WindowResult
-
-
-class TemporalKernelDriver:
-    """Postmortem execution of a per-window kernel.
-
-    >>> driver = TemporalKernelDriver(events, spec, n_multiwindows=6)
-    >>> result = driver.run(connected_components)
-    >>> result.series(lambda c: c.n_components)
-    """
-
-    model_name = "kernel"
-    supported_executors = ("serial", "thread")
-
-    def __init__(
-        self,
-        events: TemporalEventSet,
-        spec: WindowSpec,
-        n_multiwindows: int = 6,
-        to_global: bool = False,
-        *,
-        context: Optional[DriverContext] = None,
-    ) -> None:
-        if n_multiwindows <= 0:
-            raise ValidationError("n_multiwindows must be > 0")
-        self.events = events
-        self.spec = spec
-        self.n_multiwindows = n_multiwindows
-        #: when True and the kernel returns a per-vertex array, scatter it
-        #: from the multi-window local space into the global vertex space
-        self.to_global = to_global
-        self.context = context if context is not None else DriverContext()
-        require_executor(
-            self.context.executor, self.supported_executors, self.model_name
-        )
-        self._partition: Optional[MultiWindowPartition] = None
-
-    @property
-    def partition(self) -> MultiWindowPartition:
-        if self._partition is None:
-            self._partition = MultiWindowPartition(
-                self.events, self.spec, self.n_multiwindows
-            )
-        return self._partition
-
-    def run(
-        self,
-        kernel: Kernel,
-        name: Optional[str] = None,
-        *,
-        store_values: bool = True,
-        value_sink=None,
-        progress=None,
-    ) -> RunResult:
-        """Apply ``kernel`` to every window, in window order.
-
-        ``value_sink(window_index, value, meta)`` receives each window's
-        kernel output as it is computed (per-vertex array kernels with
-        ``to_global=True`` can stream straight into a rank store);
-        ``store_values=False`` drops the outputs from the returned result
-        after sinking.  The ``thread`` executor fans windows out across
-        multi-window graphs — legal because a generic kernel, unlike the
-        warm-started PageRank chain, has no cross-window dependence.
-        """
-        ctx = self.context
-        sink = chain_sinks(ctx.value_sink, value_sink)
-        progress = progress if progress is not None else ctx.progress
-        result = RunResult(model=self.model_name)
-        result.metadata["kernel_name"] = (
-            name or getattr(kernel, "__name__", "kernel")
-        )
-        n = self.spec.n_windows
-        ctx.emit("run.start", model=self.model_name, kernel=result.metadata[
-            "kernel_name"], n_windows=n)
-
-        with result.timings.phase("build"):
-            partition = self.partition
-
-        done = [0]
-
-        def solve(w: int) -> WindowResult:
-            graph = partition.graph_of(w)
-            view = graph.window_view(w)
-            value = kernel(view)
-            if (
-                self.to_global
-                and isinstance(value, np.ndarray)
-                and value.shape == (graph.n_local_vertices,)
-            ):
-                value = graph.to_global(value, self.events.n_vertices)
-            wr = WindowResult(
-                window_index=w,
-                n_active_vertices=view.n_active_vertices,
-                n_active_edges=view.n_active_edges,
-                value=value,
-            )
-            if sink is not None:
-                sink(w, value, wr)
-            if not store_values:
-                wr.value = None
-            if progress is not None:
-                done[0] += 1
-                progress(done[0], n)
-            return wr
-
-        with result.timings.phase("kernel"):
-            result.windows = list(
-                map_tasks(
-                    solve,
-                    range(n),
-                    executor=ctx.executor,
-                    n_workers=ctx.n_workers,
-                )
-            )
-
-        record_run_metadata(
-            result, executor=ctx.executor, n_workers=ctx.n_workers,
-            n_windows=n,
-        )
-        ctx.emit("run.done", model=self.model_name, n_windows=n)
-        return result
+warnings.warn(
+    "repro.kernels.driver is deprecated; import TemporalKernelDriver from "
+    "repro.kernels or repro.programs.adapter",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -10,39 +10,56 @@ neighbors, deduplicated).  The implementation is the classic linear-time
 peeling: repeatedly remove all vertices of minimum remaining degree,
 implemented round-by-round with vectorized degree updates (each round
 strips the current-k shell, so total work is Θ(Σ degrees)).
+
+:func:`peel_core_numbers` is the representation-independent half — it
+takes any symmetrized simple CSR, which is how the k-core
+:class:`~repro.programs.kcore.KCoreProgram` gets *exact* cross-model
+parity: the temporal view path and the materialized snapshot path build
+the same undirected simple graph and share this one peeling.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.csr import build_csr_from_edges
+from repro.graph.csr import CSRGraph, build_csr_from_edges
 from repro.graph.temporal_csr import WindowView
 
-__all__ = ["core_numbers", "max_core"]
+__all__ = [
+    "core_numbers",
+    "max_core",
+    "peel_core_numbers",
+    "undirected_simple_csr",
+]
 
 
-def _undirected_window_csr(view: WindowView):
+def undirected_simple_csr(
+    src: np.ndarray, dst: np.ndarray, n_vertices: int
+) -> CSRGraph:
+    """Symmetrize a simple edge list (u-v and v-u), dropping self-loops."""
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    return build_csr_from_edges(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        n_vertices,
+        dedup=True,
+    )
+
+
+def _undirected_window_csr(view: WindowView) -> CSRGraph:
     """The window's simple graph symmetrized (u-v and v-u), no loops."""
     out_csr = view.adjacency.out_csr
     dedup = out_csr.dedup_mask(view.window.t_start, view.window.t_end)
     src = out_csr.row_ids()[dedup]
     dst = out_csr.col[dedup]
-    keep = src != dst
-    src, dst = src[keep], dst[keep]
-    n = view.adjacency.n_vertices
-    return build_csr_from_edges(
-        np.concatenate([src, dst]),
-        np.concatenate([dst, src]),
-        n,
-        dedup=True,
-    )
+    return undirected_simple_csr(src, dst, view.adjacency.n_vertices)
 
 
-def core_numbers(view: WindowView) -> np.ndarray:
-    """Per-vertex core numbers for one window (0 for inactive vertices and
-    vertices with only self-loop incidences)."""
-    g = _undirected_window_csr(view)
+def peel_core_numbers(g: CSRGraph) -> np.ndarray:
+    """Core numbers of a symmetrized simple graph (0 for isolated
+    vertices).  The graph must already be undirected (every edge stored in
+    both directions) with no self-loops."""
     n = g.n_vertices
     deg = g.out_degrees().astype(np.int64)
     core = np.zeros(n, dtype=np.int64)
@@ -71,6 +88,12 @@ def core_numbers(view: WindowView) -> np.ndarray:
                 dec = np.bincount(nbrs[alive[nbrs]], minlength=n)
                 deg -= dec
     return core
+
+
+def core_numbers(view: WindowView) -> np.ndarray:
+    """Per-vertex core numbers for one window (0 for inactive vertices and
+    vertices with only self-loop incidences)."""
+    return peel_core_numbers(_undirected_window_csr(view))
 
 
 def max_core(view: WindowView) -> int:

@@ -402,7 +402,7 @@ class MissingDtypeRule(Rule):
         "precision and doubling memory traffic in hot kernels."
     )
     scopes = (
-        "pagerank/", "pagerank/backends/", "kernels/",
+        "pagerank/", "pagerank/backends/", "kernels/", "programs/",
         "graph/temporal_csr", "benchmarks/bench_edge_compaction",
         "benchmarks/bench_backends",
     )
@@ -449,6 +449,7 @@ class CsrPythonLoopRule(Rule):
     )
     scopes = (
         "kernels/", "pagerank/", "pagerank/backends/", "graph/",
+        "programs/",
         "benchmarks/bench_edge_compaction", "benchmarks/bench_backends",
     )
 

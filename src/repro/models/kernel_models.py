@@ -29,7 +29,7 @@ from repro.events.event_set import TemporalEventSet
 from repro.events.windows import WindowSpec
 from repro.graph.csr import CSRGraph, build_csr_from_edges
 from repro.graph.temporal_csr import TemporalAdjacency, WindowView
-from repro.kernels.driver import TemporalKernelDriver
+from repro.programs.adapter import TemporalKernelDriver
 from repro.streaming.stinger import StreamingGraph
 from repro.utils.timer import TimingAccumulator
 

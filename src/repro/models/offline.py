@@ -39,8 +39,9 @@ from repro.events.windows import Window, WindowSpec
 from repro.graph.csr import build_csr_from_edges
 from repro.models.base import RunResult, WindowResult
 from repro.pagerank.config import PagerankConfig
-from repro.pagerank.incremental import incremental_pagerank
 from repro.parallel.executor import ChunkedThreadExecutor
+from repro.programs.base import VertexProgram
+from repro.programs.registry import resolve_program
 from repro.runtime.base import record_run_metadata
 from repro.runtime.context import NULL_SCOPE, DriverContext, RunScope
 from repro.runtime.execution import require_executor
@@ -56,9 +57,14 @@ def _solve_one_window(
     scope,
     store_values: bool,
     sink,
+    program: VertexProgram,
 ) -> WindowResult:
     """Build-and-solve one window; the single code path every executor
-    shares (which is what makes the parallel runs bitwise-identical)."""
+    shares (which is what makes the parallel runs bitwise-identical).
+
+    The solve goes through the program's materialized surface; with the
+    reference PageRank program that is exactly the historic
+    ``incremental_pagerank`` cold-start call."""
     with scope.phase("build"):
         src, dst = events.edges_between(window.t_start, window.t_end)
         graph = build_csr_from_edges(src, dst, events.n_vertices, dedup=True)
@@ -67,7 +73,7 @@ def _solve_one_window(
         active[dst] = True
 
     with scope.phase("pagerank"):
-        pr = incremental_pagerank(graph, config, active=active)
+        pr = program.solve_graph(graph, active)
 
     scope.add_work(pr.work)
     result = WindowResult(
@@ -92,6 +98,7 @@ def solve_offline_chunk(
     hi: int,
     config: PagerankConfig,
     store_values: bool,
+    program: VertexProgram,
 ):
     """Solve the contiguous window chunk ``[lo, hi)`` from raw event
     columns.
@@ -109,7 +116,8 @@ def solve_offline_chunk(
     for i in range(lo, hi):
         results.append(
             _solve_one_window(
-                events, spec.window(i), config, scope, store_values, None
+                events, spec.window(i), config, scope, store_values, None,
+                program,
             )
         )
     return results, scope.timings, scope.work
@@ -124,6 +132,7 @@ def _arena_offline_worker(
     config: PagerankConfig,
     n_vertices: int,
     store_values: bool,
+    program: VertexProgram,
 ):
     """Worker for the ``"shared"`` executor: rebuild the event set as
     zero-copy views of the published columns, solve the chunk, ship each
@@ -140,7 +149,8 @@ def _arena_offline_worker(
     results: List[WindowResult] = []
     for i in range(lo, hi):
         wr = _solve_one_window(
-            events, spec.window(i), config, scope, store_values, sink
+            events, spec.window(i), config, scope, store_values, sink,
+            program,
         )
         results.append(wr)
     return results, scope.timings, scope.work
@@ -159,6 +169,7 @@ class OfflineDriver:
         config: PagerankConfig = PagerankConfig(),
         *,
         context: Optional[DriverContext] = None,
+        program=None,
     ) -> None:
         self.events = events
         self.spec = spec
@@ -167,6 +178,9 @@ class OfflineDriver:
         require_executor(
             self.context.executor, self.supported_executors, self.model_name
         )
+        if program is None:
+            program = self.context.program
+        self.program = resolve_program(program, config)
 
     # ------------------------------------------------------------------
     def run_window(
@@ -179,7 +193,8 @@ class OfflineDriver:
         :data:`~repro.runtime.context.NULL_SCOPE` measures nothing.
         """
         return _solve_one_window(
-            self.events, window, self.config, scope, store_values, None
+            self.events, window, self.config, scope, store_values, None,
+            self.program,
         )
 
     def run(
@@ -218,7 +233,7 @@ class OfflineDriver:
                 result.windows.append(
                     _solve_one_window(
                         self.events, window, self.config, scope,
-                        store_values, sink,
+                        store_values, sink, self.program,
                     )
                 )
                 ctx.emit("window.done", window=window.index)
@@ -236,6 +251,7 @@ class OfflineDriver:
         record_run_metadata(
             result, executor=executor, n_workers=ctx.n_workers, n_windows=n
         )
+        result.metadata["program"] = self.program.name
         ctx.emit("run.done", model=self.model_name, n_windows=n)
         return result
 
@@ -255,7 +271,7 @@ class OfflineDriver:
             out = [
                 _solve_one_window(
                     self.events, self.spec.window(i), self.config, scope,
-                    store_values, sink,
+                    store_values, sink, self.program,
                 )
                 for i in range(lo, hi)
             ]
@@ -304,6 +320,7 @@ class OfflineDriver:
                         hi,
                         self.config,
                         store_values,
+                        self.program,
                     )
                 )
             for fut in futures:
@@ -337,6 +354,7 @@ class OfflineDriver:
                 self.config,
                 self.events.n_vertices,
                 store_values,
+                self.program,
             ),
             n_workers=ctx.n_workers,
             value_sink=sink,

@@ -10,8 +10,13 @@ The driver builds the multi-window temporal-CSR representation **once**
   chunks*, so a thread that owns both G_{i-1} and G_i still applies partial
   initialization (Section 4.3.1's scheduling constraint).
 
-The driver also records a machine-independent *task log* (per-window and
-per-batch work counters) that the discrete-event machine simulator
+Since the vertex-program refactor the per-graph chain loop lives in
+:mod:`repro.programs.engine`; this driver binds it to a
+:class:`~repro.programs.base.VertexProgram` (PageRank by default — the
+reference instance, bitwise-identical to the historic driver) and keeps
+the model-level concerns: partitioning, executors, sinks, and the
+machine-independent *task log* (per-window and per-batch work counters)
+that the discrete-event machine simulator
 (:mod:`repro.parallel.simulator`) replays to estimate multicore speedups —
 the documented substitution for the paper's 48-core TBB runs.
 """
@@ -19,31 +24,28 @@ the documented substitution for the paper's 48-core TBB runs.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
-
-import numpy as np
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
 
 from repro.errors import ValidationError
 from repro.events.event_set import TemporalEventSet
 from repro.events.windows import WindowSpec
 from repro.graph.multiwindow import MultiWindowGraph, MultiWindowPartition
 from repro.models.base import RunResult, WindowResult
-from repro.models.schedule import (
-    SpmmBatch,
-    sequential_schedule,
-    spmm_region_schedule,
-)
 from repro.pagerank.config import PagerankConfig
-from repro.pagerank.init import full_initialization, partial_initialization
-from repro.pagerank.spmm import pagerank_windows_spmm
-from repro.pagerank.spmv import pagerank_window
-from repro.pagerank.weighted import pagerank_window_weighted
+from repro.programs.base import VertexProgram
+from repro.programs.engine import TaskRecord, solve_program_chain
+from repro.programs.registry import resolve_program
 from repro.runtime.base import record_run_metadata
 from repro.runtime.context import DriverContext
 from repro.runtime.sinks import chain_sinks
 
-__all__ = ["PostmortemOptions", "PostmortemDriver", "solve_multiwindow_graph"]
+__all__ = [
+    "PostmortemOptions",
+    "PostmortemDriver",
+    "TaskRecord",
+    "solve_multiwindow_graph",
+]
 
 _KERNELS = ("spmv", "spmm")
 _EXECUTORS = ("serial", "thread", "process", "shared")
@@ -62,7 +64,8 @@ class PostmortemOptions:
         multi-window graph).
     kernel:
         ``"spmv"`` (one window at a time) or ``"spmm"`` (batched windows
-        with the region schedule).
+        with the region schedule; programs without a batched kernel fall
+        back to the sequential schedule).
     vector_length:
         SpMM batch width (the paper uses 8 or 16).
     executor:
@@ -86,7 +89,8 @@ class PostmortemOptions:
         question).
     weighted:
         Weight window edges by their event multiplicity
-        (:mod:`repro.pagerank.weighted`); requires the SpMV kernel.
+        (:mod:`repro.pagerank.weighted`); requires the SpMV kernel and
+        the PageRank program.
     """
 
     n_multiwindows: int = 6
@@ -119,21 +123,6 @@ class PostmortemOptions:
             )
 
 
-@dataclass
-class TaskRecord:
-    """Machine-independent record of one solved task (window or SpMM
-    batch), consumed by the parallel machine simulator."""
-
-    multiwindow: int
-    windows: List[int]
-    iterations: int
-    structure_nnz: int
-    active_edges: int
-    active_vertices: int
-    used_partial_init: bool
-    kernel: str
-
-
 class PostmortemDriver:
     """Runs Algorithm 1 under the postmortem model."""
 
@@ -148,13 +137,14 @@ class PostmortemDriver:
         options: PostmortemOptions = PostmortemOptions(),
         *,
         context: Optional[DriverContext] = None,
+        program: Union[None, str, VertexProgram] = None,
     ) -> None:
         self.events = events
         self.spec = spec
         self.options = options
         # executor authority stays with PostmortemOptions (the model's
         # tuning surface); the context contributes sinks, hooks and the
-        # runtime edge-path override
+        # runtime edge-path/backend/program overrides
         self.context = (
             context if context is not None else DriverContext()
         ).with_execution(options.executor, options.n_threads)
@@ -163,6 +153,11 @@ class PostmortemDriver:
         if self.context.backend is not None:
             config = replace(config, backend=self.context.backend)
         self.config = config
+        if program is None:
+            program = self.context.program
+        self.program = resolve_program(
+            program, self.config, weighted=options.weighted
+        )
         self._partition: Optional[MultiWindowPartition] = None
 
     # ------------------------------------------------------------------
@@ -196,7 +191,7 @@ class PostmortemDriver:
         summaries (benchmark mode).
 
         ``value_sink`` is an optional callback ``sink(window_index, values,
-        meta)`` invoked with each window's *global* rank vector the moment
+        meta)`` invoked with each window's *global* value vector the moment
         it is solved — e.g. ``RankStoreWriter.write_window`` to stream a
         servable rank store to disk (chained after any context-level
         sink).  Combined with ``store_values=False`` a run persists every
@@ -221,7 +216,7 @@ class PostmortemDriver:
             )
         result = RunResult(model=self.model_name)
         ctx.emit("run.start", model=self.model_name, executor=executor,
-                 n_windows=self.spec.n_windows)
+                 n_windows=self.spec.n_windows, program=self.program.name)
         with result.timings.phase("build"):
             partition = self.partition
         ctx.emit("build.done", n_multiwindows=len(partition))
@@ -249,6 +244,7 @@ class PostmortemDriver:
                         self.options,
                         self.events.n_vertices,
                         store_values,
+                        self.program,
                     ),
                     n_workers=ctx.n_workers,
                     value_sink=sink,
@@ -279,6 +275,7 @@ class PostmortemDriver:
                             self.events.n_vertices,
                             store_values,
                             sink,
+                            self.program,
                         )
                         for i, g in enumerate(partition)
                     ]
@@ -308,6 +305,7 @@ class PostmortemDriver:
         result.metadata["n_multiwindows"] = len(partition)
         result.metadata["replication_factor"] = partition.replication_factor
         result.metadata["backend"] = self.config.backend
+        result.metadata["program"] = self.program.name
         result.metadata["task_log"] = task_log
         result.metadata["options"] = self.options
         ctx.emit("run.done", model=self.model_name,
@@ -323,7 +321,7 @@ class PostmortemDriver:
         value_sink=None,
     ):
         """Solve every window of one multi-window graph (one sequential
-        partial-init chain).
+        warm-start chain).
 
         ``mw_index`` is passed by the caller: a ``partition.graphs.index``
         lookup here would rescan the partition (O(Y) comparisons of large
@@ -337,39 +335,8 @@ class PostmortemDriver:
             self.events.n_vertices,
             store_values,
             value_sink,
+            self.program,
         )
-
-
-def _emit_window(
-    graph: MultiWindowGraph,
-    window: int,
-    view,
-    local_values: np.ndarray,
-    iterations: int,
-    converged: bool,
-    residual: float,
-    out: Dict[int, WindowResult],
-    store_values: bool,
-    n_global_vertices: int,
-    value_sink=None,
-) -> None:
-    values = (
-        graph.to_global(local_values, n_global_vertices)
-        if store_values or value_sink is not None
-        else None
-    )
-    result = WindowResult(
-        window_index=window,
-        values=values if store_values else None,
-        iterations=iterations,
-        converged=converged,
-        residual=residual,
-        n_active_vertices=view.n_active_vertices,
-        n_active_edges=view.n_active_edges,
-    )
-    if value_sink is not None:
-        value_sink(window, values, result)
-    out[window] = result
 
 
 def _shared_graph_worker(
@@ -380,6 +347,7 @@ def _shared_graph_worker(
     options: PostmortemOptions,
     n_global_vertices: int,
     store_values: bool,
+    program: Optional[VertexProgram] = None,
 ):
     """Worker entry point for the ``"shared"`` executor.
 
@@ -395,6 +363,7 @@ def _shared_graph_worker(
         n_global_vertices,
         store_values,
         sink,
+        program,
     )
 
 
@@ -406,152 +375,25 @@ def solve_multiwindow_graph(
     n_global_vertices: int,
     store_values: bool,
     value_sink=None,
+    program: Optional[VertexProgram] = None,
 ):
     """Solve every window of one multi-window graph.
 
-    A module-level function (not a method) so the ``"process"`` and
-    ``"shared"`` executors can ship it to worker processes; within one
-    graph the windows form a sequential partial-initialization chain, so a
-    graph is the natural unit of coarse-grained parallelism.
-
-    One kernel :class:`~repro.pagerank.workspace.Workspace` serves the
-    whole chain: window views are built lazily against it and the batch
-    loop retains only the views and rank vectors the *next* batch's
-    partial initialization can reference (a batch's predecessors are, by
-    construction of both schedules, in the immediately preceding batch),
-    so peak memory stays at two batches of scratch regardless of chain
-    length.
+    The model-level wrapper over :func:`repro.programs.engine.
+    solve_program_chain`: it resolves the program (PageRank with
+    ``options.weighted`` when none is given — the historic behaviour) and
+    forwards the chain knobs from :class:`PostmortemOptions`.
     """
-    if options.kernel == "spmm" and graph.n_windows > 1:
-        batches = spmm_region_schedule(
-            graph.first_window, graph.n_windows, options.vector_length
-        )
-    else:
-        batches = sequential_schedule(graph.first_window, graph.n_windows)
-
-    from repro.pagerank.result import WorkStats
-    from repro.pagerank.workspace import Workspace
-
-    window_results: Dict[int, WindowResult] = {}
-    local_values: Dict[int, np.ndarray] = {}
-    tasks: List[TaskRecord] = []
-    work = WorkStats()
-
-    workspace = Workspace()
-    views: Dict[int, object] = {}
-    # edge_path="auto" iteration estimate: consecutive windows of a chain
-    # have nearly identical spectra, so the previous solve's iteration
-    # count is the best available predictor for the next one
-    iteration_hint: Optional[int] = None
-
-    def view_of(w: int):
-        view = views.get(w)
-        if view is None:
-            view = graph.window_view(w, workspace=workspace)
-            views[w] = view
-        return view
-
-    for batch in batches:
-        batch_views = [view_of(w) for w in batch.windows]
-        x0_cols = []
-        used_partial = False
-        for w, pred in zip(batch.windows, batch.predecessors):
-            view = views[w]
-            if (
-                options.partial_init
-                and pred is not None
-                and pred in local_values
-            ):
-                x0_cols.append(
-                    partial_initialization(
-                        view, views[pred], local_values[pred]
-                    )
-                )
-                used_partial = True
-            else:
-                x0_cols.append(full_initialization(view))
-
-        if len(batch.windows) == 1:
-            solver = (
-                pagerank_window_weighted if options.weighted
-                else pagerank_window
-            )
-            pr = solver(
-                batch_views[0], config, x0=x0_cols[0], workspace=workspace,
-                iteration_hint=iteration_hint,
-            )
-            # raw count on purpose: a zero (empty previous window) makes
-            # resolve_edge_path fall back to its default estimate with a
-            # debug note instead of being silently dropped here
-            iteration_hint = pr.iterations
-            local_values[batch.windows[0]] = pr.values
-            work.merge(pr.work)
-            _emit_window(
-                graph,
-                batch.windows[0],
-                batch_views[0],
-                pr.values,
-                pr.iterations,
-                pr.converged,
-                pr.residual,
-                window_results,
-                store_values,
-                n_global_vertices,
-                value_sink,
-            )
-            tasks.append(
-                TaskRecord(
-                    multiwindow=mw_index,
-                    windows=list(batch.windows),
-                    iterations=pr.iterations,
-                    structure_nnz=graph.nnz,
-                    active_edges=batch_views[0].n_active_edges,
-                    active_vertices=batch_views[0].n_active_vertices,
-                    used_partial_init=used_partial,
-                    kernel="spmv",
-                )
-            )
-        else:
-            X0 = np.stack(x0_cols, axis=1)
-            batch_result = pagerank_windows_spmm(
-                batch_views, config, x0=X0, workspace=workspace,
-                iteration_hint=iteration_hint,
-            )
-            iteration_hint = int(batch_result.iterations_per_window.max())
-            work.merge(batch_result.work)
-            for j, w in enumerate(batch.windows):
-                local_values[w] = batch_result.values[:, j].copy()
-                _emit_window(
-                    graph,
-                    w,
-                    batch_views[j],
-                    local_values[w],
-                    int(batch_result.iterations_per_window[j]),
-                    bool(batch_result.converged[j]),
-                    float(batch_result.residuals[j]),
-                    window_results,
-                    store_values,
-                    n_global_vertices,
-                    value_sink,
-                )
-            tasks.append(
-                TaskRecord(
-                    multiwindow=mw_index,
-                    windows=list(batch.windows),
-                    iterations=int(batch_result.iterations_per_window.max()),
-                    structure_nnz=graph.nnz,
-                    active_edges=sum(v.n_active_edges for v in batch_views),
-                    active_vertices=sum(
-                        v.n_active_vertices for v in batch_views
-                    ),
-                    used_partial_init=used_partial,
-                    kernel="spmm",
-                )
-            )
-
-        # only this batch's windows can seed the next batch's partial
-        # init; dropping older views/vectors bounds the chain's footprint
-        keep = set(batch.windows)
-        views = {w: v for w, v in views.items() if w in keep}
-        local_values = {w: v for w, v in local_values.items() if w in keep}
-    return window_results, tasks, work
+    if program is None:
+        program = resolve_program(None, config, weighted=options.weighted)
+    return solve_program_chain(
+        graph,
+        mw_index,
+        program,
+        partial_init=options.partial_init,
+        kernel=options.kernel,
+        vector_length=options.vector_length,
+        n_global_vertices=n_global_vertices,
+        store_values=store_values,
+        value_sink=value_sink,
+    )

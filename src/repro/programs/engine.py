@@ -1,0 +1,303 @@
+"""The temporal vertex-program engine: one warm-start chain solver.
+
+This is the PageRank-agnostic extraction of the postmortem driver's
+per-multi-window-graph loop.  Everything the paper's machinery provides —
+lazy window views against one pooled workspace, partial-initialization
+chaining (Section 4.2) via the program's ``warm_start`` hook, the SpMM
+region schedule (Section 4.4) for programs with a batched kernel, the
+iteration-count feedback that drives ``edge_path="auto"``, and the
+two-batch memory bound — now serves *any* :class:`~repro.programs.base.
+VertexProgram`.  With the reference :class:`~repro.programs.pagerank.
+PagerankProgram` the solve sequence is call-for-call identical to the
+historic driver, so output is bitwise-identical by construction.
+
+:class:`TaskRecord` (the machine-independent work log the parallel
+simulator replays) lives here because the engine is what emits it;
+:mod:`repro.models.postmortem` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.multiwindow import MultiWindowGraph
+from repro.pagerank.result import WorkStats
+from repro.pagerank.workspace import Workspace
+from repro.programs.base import VertexProgram
+
+# imports from repro.models are lazy (inside the functions below): the
+# model drivers import this engine, so a module-level import here would
+# be circular for callers that reach the engine first (repro.kernels'
+# adapter, direct engine users)
+
+__all__ = ["TaskRecord", "solve_program_chain"]
+
+
+@dataclass
+class TaskRecord:
+    """Machine-independent record of one solved task (window or SpMM
+    batch), consumed by the parallel machine simulator."""
+
+    multiwindow: int
+    windows: List[int]
+    iterations: int
+    structure_nnz: int
+    active_edges: int
+    active_vertices: int
+    used_partial_init: bool
+    kernel: str
+
+
+def _emit_window(
+    graph: MultiWindowGraph,
+    window: int,
+    view,
+    local_values: np.ndarray,
+    iterations: int,
+    converged: bool,
+    residual: float,
+    out: Dict[int, "WindowResult"],
+    store_values: bool,
+    n_global_vertices: int,
+    value_sink=None,
+) -> None:
+    from repro.models.base import WindowResult
+
+    values = (
+        graph.to_global(local_values, n_global_vertices)
+        if store_values or value_sink is not None
+        else None
+    )
+    result = WindowResult(
+        window_index=window,
+        values=values if store_values else None,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        n_active_vertices=view.n_active_vertices,
+        n_active_edges=view.n_active_edges,
+    )
+    if value_sink is not None:
+        value_sink(window, values, result)
+    out[window] = result
+
+
+def _emit_generic_window(
+    graph: MultiWindowGraph,
+    window: int,
+    view,
+    value,
+    out: Dict[int, "WindowResult"],
+    store_values: bool,
+    n_global_vertices: int,
+    to_global: bool,
+    value_sink=None,
+) -> None:
+    """Emit a window whose program produces an arbitrary object (adapter
+    programs wrapping callable kernels), riding in ``WindowResult.value``
+    instead of the per-vertex ``values`` slot."""
+    from repro.models.base import WindowResult
+
+    if (
+        to_global
+        and isinstance(value, np.ndarray)
+        and value.shape == (graph.n_local_vertices,)
+    ):
+        value = graph.to_global(value, n_global_vertices)
+    result = WindowResult(
+        window_index=window,
+        n_active_vertices=view.n_active_vertices,
+        n_active_edges=view.n_active_edges,
+        value=value,
+    )
+    if value_sink is not None:
+        value_sink(window, value, result)
+    if not store_values:
+        result.value = None
+    out[window] = result
+
+
+def solve_program_chain(
+    graph: MultiWindowGraph,
+    mw_index: int,
+    program: VertexProgram,
+    *,
+    partial_init: bool = True,
+    kernel: str = "spmv",
+    vector_length: int = 16,
+    n_global_vertices: int,
+    store_values: bool = True,
+    value_sink=None,
+):
+    """Run ``program`` over every window of one multi-window graph.
+
+    A module-level function (not a method) so the ``"process"`` and
+    ``"shared"`` executors can ship it to worker processes; within one
+    graph the windows form a sequential warm-start chain, so a graph is
+    the natural unit of coarse-grained parallelism.
+
+    One kernel :class:`~repro.pagerank.workspace.Workspace` serves the
+    whole chain: window views are built lazily against it and the batch
+    loop retains only the views and state vectors the *next* batch's
+    warm start can reference (a batch's predecessors are, by construction
+    of both schedules, in the immediately preceding batch), so peak
+    memory stays at two batches of scratch regardless of chain length.
+
+    ``kernel="spmm"`` engages the region schedule only for programs with
+    a batched kernel (``supports_batch``); others fall back to the
+    sequential schedule — the k-core fixpoint has no batch shape, but a
+    ``--program kcore`` run must not have to know that.
+
+    Returns ``(window_results, tasks, work)``.
+    """
+    from repro.models.schedule import (
+        sequential_schedule,
+        spmm_region_schedule,
+    )
+
+    if (
+        kernel == "spmm"
+        and graph.n_windows > 1
+        and program.supports_batch
+    ):
+        batches = spmm_region_schedule(
+            graph.first_window, graph.n_windows, vector_length
+        )
+    else:
+        batches = sequential_schedule(graph.first_window, graph.n_windows)
+
+    window_results: Dict[int, "WindowResult"] = {}
+    local_values: Dict[int, np.ndarray] = {}
+    tasks: List[TaskRecord] = []
+    work = WorkStats()
+
+    workspace = Workspace()
+    views: Dict[int, object] = {}
+    # edge_path="auto" iteration estimate: consecutive windows of a chain
+    # have nearly identical spectra, so the previous solve's iteration
+    # count is the best available predictor for the next one
+    iteration_hint: Optional[int] = None
+    chain_state = partial_init and program.iterative
+
+    def view_of(w: int):
+        view = views.get(w)
+        if view is None:
+            view = graph.window_view(w, workspace=workspace)
+            views[w] = view
+        return view
+
+    for batch in batches:
+        batch_views = [view_of(w) for w in batch.windows]
+        x0_cols = []
+        used_partial = False
+        for w, pred in zip(batch.windows, batch.predecessors):
+            view = views[w]
+            if chain_state and pred is not None and pred in local_values:
+                x0_cols.append(
+                    program.warm_start(view, views[pred], local_values[pred])
+                )
+                used_partial = True
+            else:
+                x0_cols.append(program.init_window(view))
+
+        if len(batch.windows) == 1:
+            pr = program.solve_window(
+                batch_views[0], x0_cols[0], workspace=workspace,
+                iteration_hint=iteration_hint,
+            )
+            # raw count on purpose: a zero (empty previous window) makes
+            # resolve_edge_path fall back to its default estimate with a
+            # debug note instead of being silently dropped here
+            iteration_hint = pr.iterations
+            local_values[batch.windows[0]] = pr.values
+            work.merge(pr.work)
+            if not program.vertex_values:
+                _emit_generic_window(
+                    graph,
+                    batch.windows[0],
+                    batch_views[0],
+                    pr.values,
+                    window_results,
+                    store_values,
+                    n_global_vertices,
+                    getattr(program, "to_global_values", False),
+                    value_sink,
+                )
+                keep = set(batch.windows)
+                views = {w: v for w, v in views.items() if w in keep}
+                local_values = {
+                    w: v for w, v in local_values.items() if w in keep
+                }
+                continue
+            _emit_window(
+                graph,
+                batch.windows[0],
+                batch_views[0],
+                pr.values,
+                pr.iterations,
+                pr.converged,
+                pr.residual,
+                window_results,
+                store_values,
+                n_global_vertices,
+                value_sink,
+            )
+            tasks.append(
+                TaskRecord(
+                    multiwindow=mw_index,
+                    windows=list(batch.windows),
+                    iterations=pr.iterations,
+                    structure_nnz=graph.nnz,
+                    active_edges=batch_views[0].n_active_edges,
+                    active_vertices=batch_views[0].n_active_vertices,
+                    used_partial_init=used_partial,
+                    kernel="spmv",
+                )
+            )
+        else:
+            X0 = np.stack(x0_cols, axis=1)
+            batch_result = program.solve_batch(
+                batch_views, X0, workspace=workspace,
+                iteration_hint=iteration_hint,
+            )
+            iteration_hint = int(batch_result.iterations_per_window.max())
+            work.merge(batch_result.work)
+            for j, w in enumerate(batch.windows):
+                local_values[w] = batch_result.values[:, j].copy()
+                _emit_window(
+                    graph,
+                    w,
+                    batch_views[j],
+                    local_values[w],
+                    int(batch_result.iterations_per_window[j]),
+                    bool(batch_result.converged[j]),
+                    float(batch_result.residuals[j]),
+                    window_results,
+                    store_values,
+                    n_global_vertices,
+                    value_sink,
+                )
+            tasks.append(
+                TaskRecord(
+                    multiwindow=mw_index,
+                    windows=list(batch.windows),
+                    iterations=int(batch_result.iterations_per_window.max()),
+                    structure_nnz=graph.nnz,
+                    active_edges=sum(v.n_active_edges for v in batch_views),
+                    active_vertices=sum(
+                        v.n_active_vertices for v in batch_views
+                    ),
+                    used_partial_init=used_partial,
+                    kernel="spmm",
+                )
+            )
+
+        # only this batch's windows can seed the next batch's warm
+        # start; dropping older views/vectors bounds the chain's footprint
+        keep = set(batch.windows)
+        views = {w: v for w, v in views.items() if w in keep}
+        local_values = {w: v for w, v in local_values.items() if w in keep}
+    return window_results, tasks, work

@@ -1,0 +1,93 @@
+"""Temporal k-core decomposition as a vertex program.
+
+k-core is the engine's *non-iterative fixpoint* shape: each window's core
+numbers are computed by peeling from scratch (no state transfers between
+windows, no convergence loop to warm-start), so the program reports
+``iterative = False`` and the engine runs it on the sequential schedule
+without initial vectors.
+
+Both solve surfaces reduce the window to the same undirected simple graph
+and share :func:`repro.kernels.kcore.peel_core_numbers`, which makes
+cross-model parity *exact* (integer core numbers, not a tolerance): the
+temporal path deduplicates the multi-window structure's out-orientation,
+the materialized path symmetrizes the snapshot CSR, and both hand the
+identical edge set to one peeling.
+
+Core numbers are served as ``float64`` so the rank-store / query stack —
+built for real-valued rank vectors — works unchanged; values are exact
+small integers and survive the cast losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.temporal_csr import WindowView
+from repro.kernels.kcore import (
+    core_numbers,
+    peel_core_numbers,
+    undirected_simple_csr,
+)
+from repro.pagerank.result import PagerankResult, WorkStats
+from repro.programs.base import VertexProgram
+
+__all__ = ["KCoreProgram"]
+
+
+def _as_result(core: np.ndarray, n_edges: int, n_active: int) -> PagerankResult:
+    work = WorkStats()
+    work.edge_traversals += n_edges
+    work.active_edge_traversals += n_edges
+    work.vertex_ops += n_active
+    return PagerankResult(
+        values=core.astype(np.float64),
+        iterations=0,
+        converged=True,
+        residual=0.0,
+        work=work,
+    )
+
+
+@dataclass(frozen=True)
+class KCoreProgram(VertexProgram):
+    """Per-window core numbers on the engine stack."""
+
+    name = "kcore"
+    iterative = False
+    supports_batch = False
+
+    # -- temporal surface ----------------------------------------------
+    def init_window(self, view: WindowView) -> Optional[np.ndarray]:
+        return None
+
+    def solve_window(
+        self,
+        view: WindowView,
+        x0: Optional[np.ndarray] = None,
+        *,
+        workspace=None,
+        iteration_hint: Optional[int] = None,
+    ) -> PagerankResult:
+        core = core_numbers(view)
+        return _as_result(
+            core, view.n_active_edges, view.n_active_vertices
+        )
+
+    # -- materialized surface ------------------------------------------
+    def solve_graph(
+        self,
+        graph: CSRGraph,
+        active: np.ndarray,
+        *,
+        prev_values: Optional[np.ndarray] = None,
+        prev_active: Optional[np.ndarray] = None,
+    ) -> PagerankResult:
+        src, dst = graph.edges()
+        und = undirected_simple_csr(src, dst, graph.n_vertices)
+        core = peel_core_numbers(und)
+        mask = np.asarray(active, dtype=bool)
+        return _as_result(core, graph.n_edges, int(mask.sum()))

@@ -13,7 +13,8 @@ used to answer privately:
 * **output** — :mod:`repro.runtime.sinks`: chained streaming value
   sinks feeding rank stores and tests;
 * **construction** — :func:`~repro.runtime.registry.make_driver`: model
-  name → driver;
+  name → driver, with an orthogonal ``program`` dimension selecting the
+  vertex program (:mod:`repro.programs`) every model runs;
 * **discovery** — :mod:`repro.runtime.artifacts`: resolve a path (file
   or run output directory) to the rank store the serving tier should
   open.
@@ -38,8 +39,11 @@ from repro.runtime.context import (
 from repro.runtime.execution import EXECUTORS, map_tasks, require_executor
 from repro.runtime.registry import MODELS, make_driver
 from repro.runtime.sinks import Sink, chain_sinks, counting_sink
+from repro.programs.registry import PROGRAMS, make_program
 
 __all__ = [
+    "PROGRAMS",
+    "make_program",
     "ModelDriver",
     "record_run_metadata",
     "DriverContext",

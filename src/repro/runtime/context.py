@@ -140,6 +140,11 @@ class DriverContext:
         :attr:`repro.pagerank.config.PagerankConfig.backend`
         (``"auto"``/``"numpy"``/``"pcpm"``/``"numba"``), applied the same
         way as ``edge_path``.
+    program:
+        Optional vertex-program selection (``"pagerank"``/``"katz"``/
+        ``"kcore"``; see :mod:`repro.programs`).  ``None`` defers to the
+        driver (whose default is the reference PageRank program); a
+        driver-level ``program=`` argument wins over the context.
     """
 
     executor: str = "serial"
@@ -149,6 +154,7 @@ class DriverContext:
     trace: Optional[TraceFn] = None
     edge_path: Optional[str] = None
     backend: Optional[str] = None
+    program: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.errors import ValidationError
@@ -168,6 +174,10 @@ class DriverContext:
             from repro.pagerank.backends import validate_backend_name
 
             validate_backend_name(self.backend)
+        if self.program is not None:
+            from repro.programs.registry import validate_program_name
+
+            validate_program_name(self.program)
 
     # ------------------------------------------------------------------
     def with_execution(self, executor: str, n_workers: int) -> "DriverContext":

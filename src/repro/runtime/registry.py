@@ -33,14 +33,19 @@ def make_driver(
     config: Optional[PagerankConfig] = None,
     *,
     context: Optional[DriverContext] = None,
+    program=None,
     postmortem_options=None,
     streaming_engine: str = "warm",
     streaming_block_size: int = 64,
 ):
     """Construct the driver for ``model`` against one event set and spec.
 
-    ``context`` carries the runtime policy (executor, sinks, hooks); the
-    per-model extras (``postmortem_options``, ``streaming_engine``,
+    ``context`` carries the runtime policy (executor, sinks, hooks);
+    ``program`` selects the vertex program every model driver runs (a
+    registered name or a :class:`~repro.programs.base.VertexProgram`
+    instance; ``None`` means the reference PageRank program, deferring to
+    any ``context.program``).  The per-model extras
+    (``postmortem_options``, ``streaming_engine``,
     ``streaming_block_size``) apply only to their model and are ignored —
     deliberately, so one call site can pass a full configuration and let
     the model name select what matters — by the others.
@@ -55,7 +60,9 @@ def make_driver(
     if model == "offline":
         from repro.models.offline import OfflineDriver
 
-        return OfflineDriver(events, spec, config, context=context)
+        return OfflineDriver(
+            events, spec, config, context=context, program=program
+        )
     if model == "streaming":
         from repro.streaming.driver import StreamingDriver
 
@@ -66,6 +73,7 @@ def make_driver(
             block_size=streaming_block_size,
             engine=streaming_engine,
             context=context,
+            program=program,
         )
 
     from repro.models.postmortem import PostmortemDriver, PostmortemOptions
@@ -73,5 +81,6 @@ def make_driver(
     if postmortem_options is None:
         postmortem_options = PostmortemOptions()
     return PostmortemDriver(
-        events, spec, config, postmortem_options, context=context
+        events, spec, config, postmortem_options, context=context,
+        program=program,
     )

@@ -113,6 +113,7 @@ class RankStoreWriter:
         n_vertices: int,
         *,
         model: str = "postmortem",
+        program: str = "pagerank",
         spec: Optional[WindowSpec] = None,
         metadata: Optional[Dict[str, object]] = None,
         dtype: Union[str, np.dtype] = np.float32,
@@ -134,6 +135,9 @@ class RankStoreWriter:
         self.n_windows = n_windows
         self.n_vertices = n_vertices
         self.model = model
+        #: which vertex program produced the vectors (pagerank / katz /
+        #: kcore ...) — recorded so the serving layer knows what it serves
+        self.program = program
         self.metadata = dict(metadata or {})
         self._t_start = (
             [int(t) for t in spec.starts()] if spec is not None else None
@@ -211,6 +215,7 @@ class RankStoreWriter:
                 )
             index = {
                 "model": self.model,
+                "program": self.program,
                 "metadata": jsonable_metadata(self.metadata),
                 "t_start": self._t_start,
                 "t_end": self._t_end,
@@ -274,6 +279,7 @@ def write_store(
         n_windows=len(run.windows),
         n_vertices=n_vertices,
         model=run.model,
+        program=str(run.metadata.get("program", "pagerank")),
         spec=spec,
         metadata=run.metadata,
         dtype=dtype,
@@ -323,6 +329,9 @@ class RankStore:
         self.n_windows = int(n_windows)
         self.n_vertices = int(n_vertices)
         self.model: str = index.get("model", "unknown")
+        # stores written before the vertex-program refactor held only
+        # PageRank vectors, so that is the safe default
+        self.program: str = index.get("program", "pagerank")
         self.metadata: Dict[str, object] = index.get("metadata", {})
         self.columns: Dict[str, List] = index.get("columns", {})
         t_start = index.get("t_start")
@@ -400,6 +409,7 @@ class RankStore:
         info: Dict[str, object] = {
             "format": f"rankstore v{VERSION}",
             "model": self.model,
+            "program": self.program,
             "dtype": self.dtype.name,
             "windows": self.n_windows,
             "vertices": self.n_vertices,

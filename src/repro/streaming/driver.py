@@ -26,9 +26,10 @@ from typing import Optional
 
 from repro.events.event_set import TemporalEventSet
 from repro.events.windows import WindowSpec
+from repro.errors import ValidationError
 from repro.models.base import RunResult, WindowResult
 from repro.pagerank.config import PagerankConfig
-from repro.pagerank.incremental import incremental_pagerank
+from repro.programs.registry import resolve_program
 from repro.runtime.base import record_run_metadata
 from repro.runtime.context import DriverContext, RunScope
 from repro.runtime.execution import require_executor
@@ -53,6 +54,7 @@ class StreamingDriver:
         engine: str = "warm",
         *,
         context: Optional[DriverContext] = None,
+        program=None,
     ) -> None:
         if engine not in ("warm", "delta"):
             raise ValueError(
@@ -70,6 +72,15 @@ class StreamingDriver:
         require_executor(
             self.context.executor, self.supported_executors, self.model_name
         )
+        if program is None:
+            program = self.context.program
+        self.program = resolve_program(program, config)
+        if engine == "delta" and self.program.name != "pagerank":
+            raise ValidationError(
+                "the delta engine is PageRank-specific (eq. 3 residual "
+                f"propagation); program {self.program.name!r} requires "
+                "engine='warm'"
+            )
 
     def run(
         self,
@@ -106,10 +117,9 @@ class StreamingDriver:
                         graph, prev_values, self.config, active=active
                     )
                 else:
-                    pr = incremental_pagerank(
+                    pr = self.program.solve_graph(
                         graph,
-                        self.config,
-                        active=active,
+                        active,
                         prev_values=prev_values,
                         prev_active=prev_active,
                     )
@@ -135,6 +145,7 @@ class StreamingDriver:
         record_run_metadata(
             result, executor="serial", n_workers=1, n_windows=n
         )
+        result.metadata["program"] = self.program.name
         result.metadata["entries_inserted"] = stream.adjacency.entries_inserted
         result.metadata["entries_expired"] = stream.adjacency.entries_expired
         result.metadata["blocks_allocated"] = stream.adjacency.blocks_allocated

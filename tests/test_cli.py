@@ -86,7 +86,7 @@ class TestRun:
         )
         assert rc == 0
         text = out.getvalue()
-        assert "postmortem PageRank over 10 windows" in text
+        assert "postmortem pagerank over 10 windows" in text
         assert "top-2" in text
         assert "build" in text
 

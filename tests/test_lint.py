@@ -650,3 +650,17 @@ class TestRepositoryIsClean:
                 r.name for r in ALL_RULES if r.applies_to(path)
             }
             assert {"missing-dtype", "csr-python-loop"} <= applicable, path
+
+    def test_scopes_cover_the_program_layer(self):
+        # the vertex programs drive the hottest solve chains in the
+        # tree (katz propagation, kcore peeling), so the dtype and
+        # CSR-loop rules must reach programs/ just like the kernels
+        for path in (
+            "src/repro/programs/katz.py",
+            "src/repro/programs/kcore.py",
+            "src/repro/programs/engine.py",
+        ):
+            applicable = {
+                r.name for r in ALL_RULES if r.applies_to(path)
+            }
+            assert {"missing-dtype", "csr-python-loop"} <= applicable, path

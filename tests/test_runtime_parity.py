@@ -10,21 +10,49 @@ seam the CLI uses, and the suite asserts the runtime-level guarantees:
 * offline's parallel executors are bitwise-identical to serial,
 * every model's rank store is queryable by the PR-1 ``QueryEngine``.
 
+Since the vertex-program engine, every guarantee is per *program* too:
+the ``--program`` dimension (pagerank / katz / kcore) runs through the
+same drivers, so the suite asserts cross-model agreement (bitwise-grade
+for the integer k-core fixpoint, tolerance for the float fixed points),
+bitwise cross-executor parity per program, a Hypothesis property that
+selecting ``--program pagerank`` never changes PageRank output versus a
+hand-rolled pre-engine chain, and that katz/kcore stores are served
+unchanged by both the ``QueryEngine`` and the sharded cluster.
+
 The suite runs under ``REPRO_SANITIZE=1`` in CI (see the sanitize job);
 locally the conftest session fixture honors the same variable.
 """
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.events import WindowSpec
-from repro.pagerank import PagerankConfig
-from repro.runtime import MODELS, DriverContext, make_driver
+from repro.graph.multiwindow import MultiWindowPartition
+from repro.models.postmortem import PostmortemOptions
+from repro.pagerank import (
+    PagerankConfig,
+    Workspace,
+    full_initialization,
+    pagerank_window,
+    partial_initialization,
+)
+from repro.runtime import MODELS, PROGRAMS, DriverContext, make_driver
+from repro.service.cluster import ShardCluster
 from repro.service.engine import QueryEngine
 from repro.service.store import RankStore, RankStoreWriter
 from tests.conftest import random_events
 
 TOL = 1e-7
+
+#: cross-model agreement per float program: PageRank's three models share
+#: one fixed point to solver tolerance; Katz additionally crosses the
+#: backend-propagation (temporal) vs segment-sum (materialized) reduce
+#: orders, so its bound is looser
+PROGRAM_TOL = {"pagerank": 1e-7, "katz": 5e-6}
 
 
 @pytest.fixture(scope="module")
@@ -176,5 +204,207 @@ class TestRankStoreParity:
             np.testing.assert_array_equal(
                 read, runs["offline"].values_matrix()
             )
+        finally:
+            store.close()
+
+
+@pytest.fixture(scope="module")
+def program_runs(setup):
+    """Serial reference runs: every program under every model."""
+    events, spec, cfg = setup
+    return {
+        program: {
+            model: make_driver(
+                model, events, spec, cfg, program=program
+            ).run(store_values=True)
+            for model in MODELS
+        }
+        for program in PROGRAMS
+    }
+
+
+class TestProgramCrossModelParity:
+    """Every model agrees on every program, not just PageRank."""
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_metadata_records_program(self, program_runs, program):
+        for model, run in program_runs[program].items():
+            assert run.metadata["program"] == program, model
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_identical_window_geometry(self, setup, program_runs, program):
+        _, spec, _ = setup
+        for model, run in program_runs[program].items():
+            assert [w.window_index for w in run.windows] == list(
+                range(spec.n_windows)
+            ), (program, model)
+
+    @pytest.mark.parametrize("program", ["pagerank", "katz"])
+    def test_float_programs_agree_within_tolerance(
+        self, program_runs, program
+    ):
+        ref = program_runs[program]["postmortem"]
+        for model in ("offline", "streaming"):
+            diff = program_runs[program][model].max_difference(ref)
+            assert diff < PROGRAM_TOL[program], (program, model, diff)
+
+    def test_kcore_exact_across_models(self, program_runs):
+        """Core numbers are integers peeled from identical undirected
+        simple window graphs — cross-model parity is *exact*."""
+        ref = program_runs["kcore"]["postmortem"].values_matrix()
+        for model in ("offline", "streaming"):
+            got = program_runs["kcore"][model].values_matrix()
+            assert np.array_equal(got, ref), model
+
+
+class TestProgramExecutorParity:
+    """Executors shuffle whole chains across workers but never change a
+    chain's solve sequence — so every program is bitwise-identical to its
+    serial run under every executor, on both chained (postmortem) and
+    independent-window (offline) models."""
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    @pytest.mark.parametrize("executor", ["thread", "shared"])
+    def test_postmortem_bitwise(
+        self, setup, program_runs, program, executor
+    ):
+        events, spec, cfg = setup
+        # executor authority for the postmortem model sits in its options
+        run = make_driver(
+            "postmortem",
+            events,
+            spec,
+            cfg,
+            program=program,
+            postmortem_options=PostmortemOptions(
+                executor=executor, n_threads=3
+            ),
+        ).run()
+        assert run.metadata["executor"] == executor
+        assert np.array_equal(
+            run.values_matrix(),
+            program_runs[program]["postmortem"].values_matrix(),
+        )
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    @pytest.mark.parametrize("executor", ["thread", "shared"])
+    def test_offline_bitwise(self, setup, program_runs, program, executor):
+        events, spec, cfg = setup
+        ctx = DriverContext(executor=executor, n_workers=3)
+        run = make_driver(
+            "offline", events, spec, cfg, context=ctx, program=program
+        ).run()
+        assert np.array_equal(
+            run.values_matrix(),
+            program_runs[program]["offline"].values_matrix(),
+        )
+
+
+class TestProgramFlagPreservesPagerank:
+    """The acceptance property: threading ``--program`` through the stack
+    must not perturb PageRank — the engine's solve sequence is
+    call-for-call the pre-engine driver loop, so output is *bitwise*
+    identical to a hand-rolled partial-initialization chain."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_multiwindows=st.integers(min_value=1, max_value=4),
+        partial=st.booleans(),
+    )
+    def test_engine_bitwise_vs_prerefactor_chain(
+        self, seed, n_multiwindows, partial
+    ):
+        events = random_events(n_vertices=30, n_events=300, seed=seed)
+        spec = WindowSpec.covering(events, delta=1_500, sw=700)
+        n_multiwindows = min(n_multiwindows, spec.n_windows)
+        cfg = PagerankConfig(tolerance=1e-10, max_iterations=200)
+        run = make_driver(
+            "postmortem",
+            events,
+            spec,
+            cfg,
+            program="pagerank",
+            postmortem_options=PostmortemOptions(
+                n_multiwindows=n_multiwindows, partial_init=partial
+            ),
+        ).run()
+
+        # the historic postmortem loop, hand-rolled: one pooled workspace
+        # per multi-window graph, eq. 4 warm starts along the chain, the
+        # previous solve's iteration count as the edge-path hint
+        expected = np.zeros((spec.n_windows, events.n_vertices))
+        partition = MultiWindowPartition(events, spec, n_multiwindows)
+        for graph in partition:
+            workspace = Workspace()
+            prev_view = None
+            prev_values = None
+            hint = None
+            for w in graph.window_indices():
+                view = graph.window_view(w, workspace=workspace)
+                if partial and prev_view is not None:
+                    x0 = partial_initialization(view, prev_view, prev_values)
+                else:
+                    x0 = full_initialization(view)
+                pr = pagerank_window(
+                    view, cfg, x0=x0, workspace=workspace,
+                    iteration_hint=hint,
+                )
+                hint = pr.iterations
+                expected[w] = graph.to_global(pr.values, events.n_vertices)
+                prev_view, prev_values = view, pr.values
+
+        np.testing.assert_array_equal(run.values_matrix(), expected)
+
+
+class TestProgramStoreServing:
+    """The acceptance scenario for the new programs: ``run --program
+    katz/kcore --store`` produces a store the query tier serves unchanged
+    — single-process ``QueryEngine`` and the sharded cluster alike."""
+
+    @pytest.mark.parametrize("program", ["katz", "kcore"])
+    def test_store_served_by_engine_and_cluster(
+        self, setup, program_runs, program, tmp_path
+    ):
+        events, spec, cfg = setup
+        path = tmp_path / f"{program}.rankstore"
+        writer = RankStoreWriter(
+            path,
+            n_windows=spec.n_windows,
+            n_vertices=events.n_vertices,
+            model="postmortem",
+            spec=spec,
+            dtype=np.float64,
+            program=program,
+        )
+        ctx = DriverContext(value_sink=writer.write_window)
+        make_driver(
+            "postmortem", events, spec, cfg, context=ctx, program=program
+        ).run(store_values=False)
+        writer.close()
+
+        store = RankStore(path)
+        try:
+            assert store.program == program
+            assert store.info()["program"] == program
+            matrix = program_runs[program]["postmortem"].values_matrix()
+            for w in range(spec.n_windows):
+                np.testing.assert_array_equal(store.row(w), matrix[w])
+
+            engine = QueryEngine(store)
+            expected = {
+                w: engine.top_k(w, 5) for w in range(spec.n_windows)
+            }
+            with ShardCluster(str(path), n_shards=2, replicas=1) as cluster:
+                assert cluster.info()["program"] == program
+                for w in range(spec.n_windows):
+                    resp = cluster.top_k(w, 5)
+                    assert resp["ok"], resp
+                    got = json.loads(json.dumps(resp["result"]))
+                    assert got == json.loads(json.dumps(expected[w]))
         finally:
             store.close()
