@@ -70,6 +70,9 @@ GUARDED = {
         (("auto", "auto_over_best"),
          "auto/best-fixed full-kernel time"),
     ],
+    # no guarded ratios: the out-of-core contract is the RSS-bound and
+    # parity flags below (wall-clock and absolute RSS are machine facts)
+    "outofcore": [],
 }
 
 #: per-bench boolean invariants that must hold in the fresh results
@@ -110,6 +113,12 @@ REQUIRED_FLAGS = {
         ("parity", "pb"),
         ("auto", "auto_within_bound"),
         ("workstats", "recorded"),
+    ],
+    "outofcore": [
+        ("parity", "adjacency_match"),
+        ("parity", "postmortem_match_exact"),
+        ("build", "rss_within_bound"),
+        ("run", "rss_within_bound"),
     ],
 }
 

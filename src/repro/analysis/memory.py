@@ -9,14 +9,24 @@ intermediate PageRank vectors.  These helpers report both the model
 formula and the actually-allocated bytes per multi-window graph, plus the
 replication overhead vs. the raw event log — the quantity the multi-window
 count Y trades against per-SpMV work (Figure 8's companion discussion).
+
+Out-of-core runs split the accounting: ``heap_bytes`` is what the process
+actually owns (resident by construction), ``mapped_bytes`` is file-backed
+address space the kernel pages in and out on demand (a ``.tcsr`` artifact
+opened via :func:`repro.graph.io.open_events`).  Only the heap side counts
+against the paper's fit-in-memory requirement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
 
-from repro.graph.multiwindow import MultiWindowPartition
+from repro.graph.multiwindow import (
+    LazyMultiWindowPartition,
+    MultiWindowPartition,
+)
+from repro.utils.arrays import heap_and_mapped_bytes
 
 __all__ = ["MemoryReport", "memory_report", "ENCODING_BYTES"]
 
@@ -25,14 +35,26 @@ ENCODING_BYTES = 8  # the paper: "we use 64-bit for all data"
 
 @dataclass
 class GraphMemory:
-    """Memory of one multi-window graph."""
+    """Memory of one multi-window graph.
+
+    ``heap_bytes`` + ``mapped_bytes`` partition the graph's array bytes by
+    residency: heap allocations vs file-backed memory maps.  For a lazy
+    partition the graphs are transient — ``heap_bytes`` is then the peak
+    one in-flight graph costs, not a standing allocation.
+    """
 
     index: int
     n_windows: int
     n_vertices: int
     n_events: int
     model_bytes: int
-    allocated_bytes: int
+    heap_bytes: int
+    mapped_bytes: int
+
+    @property
+    def allocated_bytes(self) -> int:
+        """All array bytes regardless of residency (legacy name)."""
+        return self.heap_bytes + self.mapped_bytes
 
 
 @dataclass
@@ -41,7 +63,9 @@ class MemoryReport:
 
     graphs: List[GraphMemory]
     raw_event_bytes: int
+    raw_event_mapped_bytes: int
     replication_factor: float
+    lazy: bool
 
     @property
     def total_model_bytes(self) -> int:
@@ -49,8 +73,27 @@ class MemoryReport:
         return sum(g.model_bytes for g in self.graphs)
 
     @property
+    def total_heap_bytes(self) -> int:
+        """Bytes the process owns outright.  For a lazy partition the
+        graphs are built per task and dropped, so the standing total is 0
+        and the per-graph values are transient peaks."""
+        if self.lazy:
+            return 0
+        return sum(g.heap_bytes for g in self.graphs)
+
+    @property
+    def total_mapped_bytes(self) -> int:
+        return sum(g.mapped_bytes for g in self.graphs)
+
+    @property
     def total_allocated_bytes(self) -> int:
         return sum(g.allocated_bytes for g in self.graphs)
+
+    @property
+    def peak_transient_bytes(self) -> int:
+        """Largest single-graph heap cost — what one in-flight lazy
+        materialization adds to RSS."""
+        return max((g.heap_bytes for g in self.graphs), default=0)
 
     @property
     def overhead_vs_raw(self) -> float:
@@ -68,10 +111,19 @@ class MemoryReport:
         )
 
 
-def memory_report(partition: MultiWindowPartition) -> MemoryReport:
-    """Account the memory of a multi-window partition."""
+def memory_report(
+    partition: Union[MultiWindowPartition, LazyMultiWindowPartition],
+) -> MemoryReport:
+    """Account the memory of a multi-window partition.
+
+    Works for both eager and lazy partitions; for a lazy one, graphs are
+    materialized one at a time (never all resident) and reported as
+    transient costs.
+    """
+    lazy = isinstance(partition, LazyMultiWindowPartition)
     graphs = []
-    for i, g in enumerate(partition.graphs):
+    graph_iter = iter(partition) if lazy else partition.graphs
+    for i, g in enumerate(graph_iter):
         model = ENCODING_BYTES * (g.n_local_vertices + 2 * g.nnz)
         graphs.append(
             GraphMemory(
@@ -80,12 +132,18 @@ def memory_report(partition: MultiWindowPartition) -> MemoryReport:
                 n_vertices=g.n_local_vertices,
                 n_events=g.nnz,
                 model_bytes=model,
-                allocated_bytes=g.memory_bytes(),
+                heap_bytes=g.memory_bytes(),
+                mapped_bytes=g.mapped_bytes(),
             )
         )
-    raw = 3 * ENCODING_BYTES * len(partition.events)  # (src, dst, time)
+    events = partition.events
+    raw_heap, raw_mapped = heap_and_mapped_bytes(
+        [events.src, events.dst, events.time]
+    )
     return MemoryReport(
         graphs=graphs,
-        raw_event_bytes=raw,
+        raw_event_bytes=raw_heap + raw_mapped,
+        raw_event_mapped_bytes=raw_mapped,
         replication_factor=partition.replication_factor,
+        lazy=lazy,
     )

@@ -72,7 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--scale", type=float, default=1.0)
     p_gen.add_argument("--seed-offset", type=int, default=0)
     p_gen.add_argument("--out", required=True,
-                       help="output path (.npz or .tsv)")
+                       help="output path (.npz, .tsv or .tcsr)")
+    p_gen.add_argument("--format", default="auto",
+                       choices=["auto", "npz", "tsv", "tcsr"],
+                       help="output format; auto infers from --out suffix. "
+                       "tcsr builds the memory-mapped artifact straight to "
+                       "disk in bounded-memory chunks (use for *-xl "
+                       "profiles)")
+    p_gen.add_argument("--chunk-events", type=int, default=None,
+                       help="events generated/sorted per chunk on the tcsr "
+                       "path (bounds peak memory; default 1,000,000)")
 
     sub.add_parser("list", help="list dataset profiles")
 
@@ -91,7 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser(
         "run", help="windowed PageRank under any execution model"
     )
-    p_run.add_argument("events")
+    p_run.add_argument("events", nargs="?", default=None,
+                       help="event file (.npz, .tsv or .tcsr); or use "
+                       "--graph")
+    p_run.add_argument("--graph", default=None, metavar="PATH",
+                       help="run from a .tcsr artifact: events and "
+                       "adjacency stay memory-mapped, multi-window graphs "
+                       "materialize lazily per task")
     add_window_args(p_run)
     p_run.add_argument("--model", default="postmortem",
                        choices=["offline", "streaming", "postmortem"],
@@ -190,7 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins = sub.add_parser(
         "inspect", help="describe a saved run archive or rank store"
     )
-    p_ins.add_argument("archive", help=".npz run archive or .rankstore")
+    p_ins.add_argument("archive",
+                       help=".npz run archive, .rankstore or .tcsr")
 
     p_query = sub.add_parser(
         "query", help="query a rank store from the command line"
@@ -346,7 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load_events(path: str):
     from repro.events import load_events_npz, load_events_tsv
+    from repro.graph.io import is_tcsr, open_events
 
+    if is_tcsr(path):
+        return open_events(path)
     if path.endswith(".npz"):
         return load_events_npz(path)
     return load_events_tsv(path)
@@ -373,13 +392,45 @@ def _make_config(args):
     )
 
 
+def _generate_format(args) -> str:
+    if args.format != "auto":
+        return args.format
+    if args.out.endswith(".tcsr"):
+        return "tcsr"
+    if args.out.endswith(".npz"):
+        return "npz"
+    return "tsv"
+
+
 def cmd_generate(args, out) -> int:
     from repro.datasets import get_profile
     from repro.events import save_events_npz, save_events_tsv
 
     profile = get_profile(args.profile)
+    fmt = _generate_format(args)
+    if fmt == "tcsr":
+        from repro.datasets.profiles import DEFAULT_CHUNK_EVENTS
+        from repro.graph.io import TcsrFile
+
+        chunk_events = args.chunk_events or DEFAULT_CHUNK_EVENTS
+        profile.generate_tcsr(
+            args.out,
+            seed_offset=args.seed_offset,
+            scale=args.scale,
+            chunk_events=chunk_events,
+        )
+        with TcsrFile(args.out) as artifact:
+            n_events = artifact.n_events
+            n_vertices = artifact.n_vertices
+            stored = artifact.stored_bytes()
+        print(
+            f"wrote {n_events} events ({n_vertices} vertices, "
+            f"{stored / 1e6:.1f} MB mapped) to {args.out}",
+            file=out,
+        )
+        return 0
     events = profile.generate(seed_offset=args.seed_offset, scale=args.scale)
-    if args.out.endswith(".npz"):
+    if fmt == "npz":
         save_events_npz(events, args.out)
     else:
         save_events_tsv(events, args.out)
@@ -434,11 +485,21 @@ def cmd_info(args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
+    from repro.errors import ValidationError
     from repro.models import PostmortemOptions
     from repro.reporting import format_table
     from repro.runtime import DriverContext, make_driver
 
-    events = _load_events(args.events)
+    if (args.events is None) == (args.graph is None):
+        raise ValidationError(
+            "give exactly one input: an events file, or --graph PATH"
+        )
+    if args.graph is not None:
+        from repro.graph.io import open_events
+
+        events = open_events(args.graph)
+    else:
+        events = _load_events(args.events)
     spec = _make_spec(events, args)
     options = PostmortemOptions(
         n_multiwindows=args.multiwindows,
@@ -628,13 +689,49 @@ def cmd_kernel(args, out) -> int:
     return 0
 
 
+def _dump_artifact(out, title, info, header, arrays=None) -> None:
+    """Shared presentation for binary artifacts (.rankstore, .tcsr):
+    flat summary, decoded preamble, optional per-array layout table."""
+    from repro.reporting import format_kv, format_table
+
+    print(format_kv(info, title=title), file=out)
+    print(file=out)
+    print(format_kv(header, title="header"), file=out)
+    if arrays:
+        rows = [
+            [r["name"], r["dtype"], "x".join(str(d) for d in r["shape"]),
+             r["offset"], f"{r['bytes']:,}"]
+            for r in arrays
+        ]
+        print(file=out)
+        print(
+            format_table(
+                ["array", "dtype", "shape", "offset", "bytes"],
+                rows,
+                title="array layout",
+            ),
+            file=out,
+        )
+
+
 def cmd_inspect(args, out) -> int:
     from repro.reporting import format_kv
+    from repro.graph.io import TcsrFile, is_tcsr
     from repro.service.store import RankStore, is_rank_store
+
+    if is_tcsr(args.archive):
+        with TcsrFile(args.archive) as artifact:
+            _dump_artifact(
+                out, args.archive, artifact.info(),
+                artifact.header_info(), artifact.array_table(),
+            )
+        return 0
 
     if is_rank_store(args.archive):
         with RankStore(args.archive) as store:
-            print(format_kv(store.info(), title=args.archive), file=out)
+            _dump_artifact(
+                out, args.archive, store.info(), store.header_info()
+            )
         return 0
 
     from repro.models import load_run

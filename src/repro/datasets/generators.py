@@ -35,6 +35,7 @@ __all__ = [
     "preferential_attachment_endpoints",
     "bipartite_endpoints",
     "generate_events",
+    "generate_event_chunks",
 ]
 
 
@@ -252,3 +253,49 @@ def generate_events(
     if symmetric:
         events = events.symmetrized()
     return events
+
+
+def generate_event_chunks(
+    n_events: int,
+    n_vertices: int,
+    rate: RateCurve,
+    t_min: int,
+    t_max: int,
+    seed: int,
+    endpoint_sampler: Optional[EndpointSampler] = None,
+    symmetric: bool = False,
+    chunk_events: int = 1_000_000,
+):
+    """Generate a synthetic event set as a stream of bounded chunks.
+
+    The out-of-core sibling of :func:`generate_events`: yields ``(src,
+    dst, time)`` triples of at most ``chunk_events`` base events each
+    (``2 x chunk_events`` when ``symmetric`` — every chunk carries its
+    own mirrors), all drawn from **one** sequential RNG.  Feed the chunks
+    straight to :class:`repro.graph.io.TemporalCSRBuilder`: the builder's
+    stable time merge yields a valid event set without the chunks ever
+    coexisting in memory.
+
+    Determinism: a fixed ``(seed, chunk_events)`` pair always yields the
+    same stream, and when everything fits in a single chunk the result is
+    *bitwise-identical* to :func:`generate_events` (same RNG call
+    sequence, same mirror concatenation order).  Different chunk sizes
+    produce statistically equivalent but not bitwise-equal sets — the RNG
+    interleaves time and endpoint draws per chunk.
+    """
+    check_positive(n_events, "n_events")
+    check_positive(chunk_events, "chunk_events")
+    rng = np.random.default_rng(seed)
+    if endpoint_sampler is None:
+        endpoint_sampler = preferential_attachment_endpoints
+    for lo in range(0, n_events, chunk_events):
+        m = min(chunk_events, n_events - lo)
+        times = rate.sample_times(m, t_min, t_max, rng)
+        src, dst = endpoint_sampler(m, n_vertices, rng)
+        if symmetric:
+            src, dst, times = (
+                np.concatenate([src, dst]),
+                np.concatenate([dst, src]),
+                np.concatenate([times, times]),
+            )
+        yield src, dst, times

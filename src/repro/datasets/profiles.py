@@ -14,8 +14,8 @@ window sizes in days (or years for Enron).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.datasets.generators import (
     bipartite_endpoints,
     burst_decay_rate,
     bursty_steady_rate,
+    generate_event_chunks,
     generate_events,
     growth_rate,
     irregular_rate,
@@ -33,6 +34,9 @@ from repro.errors import DatasetError
 from repro.events.event_set import TemporalEventSet
 
 __all__ = ["DatasetProfile", "PROFILES", "get_profile", "list_profiles"]
+
+#: chunk size used when a profile generates straight to disk
+DEFAULT_CHUNK_EVENTS = 1_000_000
 
 DAY = 86_400
 YEAR = 365 * DAY
@@ -102,17 +106,7 @@ class DatasetProfile:
             Multiplier on ``n_events`` (and sqrt-scaled vertex count) to
             grow or shrink the instance.
         """
-        if scale <= 0:
-            raise DatasetError(f"scale must be > 0, got {scale}")
-        n_events = max(16, int(self.n_events * scale))
-        n_vertices = max(8, int(self.n_vertices * np.sqrt(scale)))
-        sampler = None
-        if self.endpoint_factory is not None:
-            factory = self.endpoint_factory
-
-            def sampler(n, nv, rng, _f=factory, _nv=n_vertices):
-                return _f(n, _nv, rng)
-
+        n_events, n_vertices = self._scaled_counts(scale)
         return generate_events(
             n_events=n_events,
             n_vertices=n_vertices,
@@ -120,8 +114,87 @@ class DatasetProfile:
             t_min=1_000_000_000,  # ~2001, cosmetic only
             t_max=1_000_000_000 + self.span_seconds,
             seed=self.base_seed + seed_offset,
-            endpoint_sampler=sampler,
+            endpoint_sampler=self._sampler(n_vertices),
             symmetric=self.symmetric,
+        )
+
+    def _scaled_counts(self, scale: float) -> Tuple[int, int]:
+        """(n_events, n_vertices) after applying ``scale`` — events scale
+        linearly, vertices by sqrt (keeps average degree drifting the way
+        real growing graphs do)."""
+        if scale <= 0:
+            raise DatasetError(f"scale must be > 0, got {scale}")
+        n_events = max(16, int(self.n_events * scale))
+        n_vertices = max(8, int(self.n_vertices * np.sqrt(scale)))
+        return n_events, n_vertices
+
+    def _sampler(self, n_vertices: int):
+        """The endpoint sampler closed over the *scaled* vertex count
+        (bipartite profiles size their partitions from it)."""
+        if self.endpoint_factory is None:
+            return None
+        factory = self.endpoint_factory
+
+        def sampler(n, nv, rng, _f=factory, _nv=n_vertices):
+            return _f(n, _nv, rng)
+
+        return sampler
+
+    def iter_event_chunks(
+        self,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        seed_offset: int = 0,
+        scale: float = 1.0,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """The event set as a stream of bounded ``(src, dst, time)``
+        chunks — the out-of-core generation path.
+
+        One sequential RNG drives the stream, so a fixed ``(seed_offset,
+        scale, chunk_events)`` triple is fully deterministic; when a
+        single chunk covers everything the stream is bitwise-identical
+        to :meth:`generate`.  Feed to
+        :class:`repro.graph.io.TemporalCSRBuilder` / :meth:`generate_tcsr`.
+        """
+        n_events, n_vertices = self._scaled_counts(scale)
+        return generate_event_chunks(
+            n_events=n_events,
+            n_vertices=n_vertices,
+            rate=self.rate_factory(),
+            t_min=1_000_000_000,
+            t_max=1_000_000_000 + self.span_seconds,
+            seed=self.base_seed + seed_offset,
+            endpoint_sampler=self._sampler(n_vertices),
+            symmetric=self.symmetric,
+            chunk_events=chunk_events,
+        )
+
+    def generate_tcsr(
+        self,
+        path,
+        seed_offset: int = 0,
+        scale: float = 1.0,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        n_workers: int = 4,
+    ) -> str:
+        """Generate straight to a ``.tcsr`` artifact on disk.
+
+        Peak memory is O(``chunk_events``) regardless of total event
+        count — the path the ``*-xl`` profiles (100x the base event
+        count) are meant to take.
+        """
+        from repro.graph.io import build_tcsr
+
+        _, n_vertices = self._scaled_counts(scale)
+        return build_tcsr(
+            self.iter_event_chunks(
+                chunk_events=chunk_events,
+                seed_offset=seed_offset,
+                scale=scale,
+            ),
+            path,
+            n_vertices,
+            chunk_events=chunk_events,
+            n_workers=n_workers,
         )
 
     def parameter_grid(self) -> List[Tuple[int, float]]:
@@ -228,6 +301,28 @@ PROFILES: Dict[str, DatasetProfile] = {
         base_seed=107,
     ),
 }
+
+
+# ----------------------------------------------------------------------
+# *-xl profiles: ~100x the base event count (10^6 - 10^7 events), with
+# sqrt-scaled vertex counts — production-sized instances meant to be
+# generated straight to disk via generate_tcsr(), not held in RAM.
+# paper_events is unchanged: the xl instances approach (and for several
+# datasets exceed) the real datasets' event counts.
+# ----------------------------------------------------------------------
+XL_SCALE = 100
+
+PROFILES.update(
+    {
+        f"{profile.name}-xl": replace(
+            profile,
+            name=f"{profile.name}-xl",
+            n_events=profile.n_events * XL_SCALE,
+            n_vertices=profile.n_vertices * 10,
+        )
+        for profile in list(PROFILES.values())
+    }
+)
 
 
 def get_profile(name: str) -> DatasetProfile:

@@ -7,11 +7,27 @@
   timestamp, plus vectorized window activity/dedup masks and degrees.
 * :mod:`repro.graph.multiwindow` — partitioning the window sequence into
   multi-window graphs (Section 4.1) with local vertex compaction.
+* :mod:`repro.graph.io` — the out-of-core ``.tcsr`` artifact: a
+  memory-mapped temporal CSR built in bounded-memory chunks.
 """
 
 from repro.graph.csr import CSRGraph, build_csr_from_edges
 from repro.graph.temporal_csr import TemporalCSR, TemporalAdjacency, WindowView
-from repro.graph.multiwindow import MultiWindowGraph, MultiWindowPartition
+from repro.graph.io import (
+    MappedEventSet,
+    TcsrFile,
+    TemporalCSRBuilder,
+    build_tcsr,
+    is_tcsr,
+    open_adjacency,
+    open_events,
+    write_tcsr,
+)
+from repro.graph.multiwindow import (
+    LazyMultiWindowPartition,
+    MultiWindowGraph,
+    MultiWindowPartition,
+)
 from repro.graph.balanced import (
     BalancedMultiWindowPartition,
     balanced_boundaries,
@@ -25,8 +41,17 @@ __all__ = [
     "TemporalCSR",
     "TemporalAdjacency",
     "WindowView",
+    "TemporalCSRBuilder",
+    "TcsrFile",
+    "MappedEventSet",
+    "build_tcsr",
+    "write_tcsr",
+    "open_events",
+    "open_adjacency",
+    "is_tcsr",
     "MultiWindowGraph",
     "MultiWindowPartition",
+    "LazyMultiWindowPartition",
     "BalancedMultiWindowPartition",
     "balanced_boundaries",
     "greedy_boundaries",

@@ -21,11 +21,18 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.events.windows import Window, WindowSpec
 from repro.graph.temporal_csr import TemporalAdjacency, TemporalCSR, WindowView
+from repro.utils.arrays import heap_and_mapped_bytes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.events.event_set import TemporalEventSet
 
-__all__ = ["MultiWindowGraph", "MultiWindowPartition"]
+__all__ = [
+    "MultiWindowGraph",
+    "MultiWindowPartition",
+    "LazyMultiWindowPartition",
+    "uniform_window_ranges",
+    "build_compact_graph",
+]
 
 
 class MultiWindowGraph:
@@ -113,7 +120,12 @@ class MultiWindowGraph:
         return out
 
     def memory_bytes(self) -> int:
+        """Heap bytes (mmap-backed adjacency arrays excluded)."""
         return self.adjacency.memory_bytes() + self.global_ids.nbytes
+
+    def mapped_bytes(self) -> int:
+        """File-mapped bytes of the adjacency (address space, not RSS)."""
+        return self.adjacency.mapped_bytes()
 
     # ------------------------------------------------------------------
     # shared-memory publication (repro.parallel.shared_arena)
@@ -179,6 +191,49 @@ class MultiWindowGraph:
         )
 
 
+def uniform_window_ranges(n_windows: int, n_multiwindows: int) -> list:
+    """Uniform split: ``(w_start, w_count)`` per multi-window graph; the
+    first ``n_windows % Y`` graphs get one extra window (paper Section
+    4.1's distribution)."""
+    base = n_windows // n_multiwindows
+    extra = n_windows % n_multiwindows
+    ranges = []
+    start = 0
+    for g in range(n_multiwindows):
+        count = base + (1 if g < extra else 0)
+        ranges.append((start, count))
+        start += count
+    assert start == n_windows
+    return ranges
+
+
+def build_compact_graph(
+    src: np.ndarray,
+    dst: np.ndarray,
+    time: np.ndarray,
+    sub: WindowSpec,
+    first_window: int,
+) -> MultiWindowGraph:
+    """Compact a time-sliced event run into one multi-window graph.
+
+    The single construction step shared by the eager and lazy partitions
+    (and by shared-arena workers building graphs in-process): vertex
+    compaction via ``union1d`` + ``searchsorted`` relabeling, then both
+    temporal-CSR orientations over local ids.
+    """
+    if src.size:
+        ids = np.union1d(src, dst)
+        local_src = np.searchsorted(ids, src)
+        local_dst = np.searchsorted(ids, dst)
+    else:
+        ids = np.empty(0, dtype=np.int64)
+        local_src = local_dst = np.asarray(src, dtype=np.int64)
+    adjacency = TemporalAdjacency.from_arrays(
+        local_src, local_dst, time, ids.size
+    )
+    return MultiWindowGraph(sub, first_window, adjacency, ids)
+
+
 class MultiWindowPartition:
     """Uniform partition of a window sequence into multi-window graphs.
 
@@ -205,37 +260,24 @@ class MultiWindowPartition:
         self.graphs: List[MultiWindowGraph] = []
         self._owner = np.empty(spec.n_windows, dtype=np.int64)
 
-        # uniform split: the first (n % Y) graphs get one extra window
-        base = spec.n_windows // n_multiwindows
-        extra = spec.n_windows % n_multiwindows
-        start = 0
-        for g in range(n_multiwindows):
-            count = base + (1 if g < extra else 0)
+        for g, (start, count) in enumerate(
+            uniform_window_ranges(spec.n_windows, n_multiwindows)
+        ):
             self._owner[start: start + count] = g
             self.graphs.append(self._build_graph(start, count))
-            start += count
-        assert start == spec.n_windows
 
     def _build_graph(self, w_start: int, w_count: int) -> MultiWindowGraph:
         sub = self.spec.subspec(w_start, w_count)
         t_lo = sub.t0
         t_hi = sub.t0 + (w_count - 1) * sub.sw + sub.delta
         lo, hi = self.events.time_slice_indices(t_lo, t_hi)
-        src = self.events.src[lo:hi]
-        dst = self.events.dst[lo:hi]
-        time = self.events.time[lo:hi]
-
-        if src.size:
-            ids = np.union1d(src, dst)
-            local_src = np.searchsorted(ids, src)
-            local_dst = np.searchsorted(ids, dst)
-        else:
-            ids = np.empty(0, dtype=np.int64)
-            local_src = local_dst = src
-        adjacency = TemporalAdjacency.from_arrays(
-            local_src, local_dst, time, ids.size
+        return build_compact_graph(
+            self.events.src[lo:hi],
+            self.events.dst[lo:hi],
+            self.events.time[lo:hi],
+            sub,
+            w_start,
         )
-        return MultiWindowGraph(sub, w_start, adjacency, ids)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -286,6 +328,132 @@ class MultiWindowPartition:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MultiWindowPartition(Y={self.n_multiwindows}, "
+            f"windows={self.spec.n_windows}, "
+            f"stored_events={self.total_stored_events})"
+        )
+
+
+class LazyMultiWindowPartition:
+    """A uniform partition that materializes graphs on demand.
+
+    Construction computes only the per-graph window ranges and event-log
+    slice bounds (two ``searchsorted`` probes each — with a ``.tcsr``
+    event set that touches a handful of pages, not the whole log).  A
+    multi-window graph's arrays exist only while someone holds the object
+    :meth:`graph_at` returned, so peak memory for a run is one graph per
+    concurrent worker instead of all ``Y`` graphs at once.
+
+    Same read interface as :class:`MultiWindowPartition`, except
+    ``graphs`` is a *property* that eagerly materializes every graph —
+    the escape hatch for analysis paths; runtime paths should iterate or
+    call :meth:`graph_at`.
+    """
+
+    def __init__(
+        self,
+        events: "TemporalEventSet",
+        spec: WindowSpec,
+        n_multiwindows: int,
+    ) -> None:
+        if n_multiwindows <= 0:
+            raise ValidationError(
+                f"n_multiwindows must be > 0, got {n_multiwindows}"
+            )
+        n_multiwindows = min(n_multiwindows, spec.n_windows)
+        self.events = events
+        self.spec = spec
+        self.n_multiwindows = n_multiwindows
+        self._owner = np.empty(spec.n_windows, dtype=np.int64)
+        #: per graph: (w_start, w_count, sub_spec, event_lo, event_hi)
+        self._ranges: List[tuple] = []
+        for g, (start, count) in enumerate(
+            uniform_window_ranges(spec.n_windows, n_multiwindows)
+        ):
+            self._owner[start: start + count] = g
+            sub = spec.subspec(start, count)
+            t_lo = sub.t0
+            t_hi = sub.t0 + (count - 1) * sub.sw + sub.delta
+            lo, hi = events.time_slice_indices(t_lo, t_hi)
+            self._ranges.append((start, count, sub, int(lo), int(hi)))
+
+    # ------------------------------------------------------------------
+    def graph_at(self, g: int) -> MultiWindowGraph:
+        """Build multi-window graph ``g`` now (a fresh object each call;
+        drop the reference to release its arrays)."""
+        w_start, _, sub, lo, hi = self._ranges[g]
+        return build_compact_graph(
+            self.events.src[lo:hi],
+            self.events.dst[lo:hi],
+            self.events.time[lo:hi],
+            sub,
+            w_start,
+        )
+
+    def graph_payload(self, g: int) -> tuple:
+        """Picklable build recipe ``(sub_spec, first_window, lo, hi)`` for
+        workers that hold the event arrays already (shared arena)."""
+        w_start, _, sub, lo, hi = self._ranges[g]
+        return (sub, w_start, lo, hi)
+
+    @property
+    def graphs(self) -> List[MultiWindowGraph]:
+        """Materialize *all* graphs (defeats laziness; analysis paths)."""
+        return [self.graph_at(g) for g in range(self.n_multiwindows)]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_multiwindows
+
+    def __iter__(self) -> Iterator[MultiWindowGraph]:
+        for g in range(self.n_multiwindows):
+            yield self.graph_at(g)
+
+    def __getitem__(self, g: int) -> MultiWindowGraph:
+        return self.graph_at(g)
+
+    def owner_of(self, window_index: int) -> int:
+        """Which multi-window graph holds a global window index."""
+        if not (0 <= window_index < self.spec.n_windows):
+            raise ValidationError(
+                f"window index {window_index} out of range"
+            )
+        return int(self._owner[window_index])
+
+    def graph_of(self, window_index: int) -> MultiWindowGraph:
+        """Materialize the graph owning a global window index."""
+        return self.graph_at(self.owner_of(window_index))
+
+    def window_view(self, window_index: int, workspace=None) -> WindowView:
+        """Per-window view via a freshly materialized owning graph."""
+        return self.graph_of(window_index).window_view(
+            window_index, workspace=workspace
+        )
+
+    @property
+    def total_stored_events(self) -> int:
+        """Σ_w |E_w| — known from slice bounds without building graphs."""
+        return sum(hi - lo for _, _, _, lo, hi in self._ranges)
+
+    @property
+    def replication_factor(self) -> float:
+        n = len(self.events)
+        return self.total_stored_events / n if n else 1.0
+
+    def memory_bytes(self) -> int:
+        """Resident representation bytes: 0 — nothing is materialized
+        until a caller asks for a graph."""
+        return 0
+
+    def mapped_bytes(self) -> int:
+        """File-mapped bytes of the backing event arrays (if any)."""
+        _, mapped = heap_and_mapped_bytes(
+            (self.events.src, self.events.dst, self.events.time)
+        )
+        return mapped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LazyMultiWindowPartition(Y={self.n_multiwindows}, "
             f"windows={self.spec.n_windows}, "
             f"stored_events={self.total_stored_events})"
         )

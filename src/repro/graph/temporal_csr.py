@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import GraphBuildError
 from repro.graph.csr import CSRGraph, build_csr_from_edges
+from repro.utils.arrays import heap_and_mapped_bytes
 from repro.utils.segments import (
     indptr_to_row_ids,
     lengths_to_indptr,
@@ -216,14 +217,24 @@ class TemporalCSR:
         cols = self.col[dedup]
         return build_csr_from_edges(rows, cols, self.n_rows, dedup=False)
 
+    def _arrays(self) -> tuple:
+        return (self.indptr, self.col, self.time, self.group_start)
+
     def memory_bytes(self) -> int:
-        """Approximate memory footprint (64-bit encoding, as in the paper)."""
-        return (
-            self.indptr.nbytes
-            + self.col.nbytes
-            + self.time.nbytes
-            + self.group_start.nbytes
-        )
+        """Heap-allocated bytes (64-bit encoding, as in the paper).
+
+        Memory-mapped arrays are *excluded*: their pages are file-backed
+        and reclaimable, so counting them as allocated would overstate
+        the footprint of an out-of-core graph by orders of magnitude.
+        See :meth:`mapped_bytes` for the address-space side.
+        """
+        heap, _ = heap_and_mapped_bytes(self._arrays())
+        return heap
+
+    def mapped_bytes(self) -> int:
+        """Bytes backed by memory-mapped files (address space, not RSS)."""
+        _, mapped = heap_and_mapped_bytes(self._arrays())
+        return mapped
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -286,6 +297,17 @@ class TemporalAdjacency:
         out_csr = _build_orientation(src, dst, time, n_vertices)
         return cls(in_csr, out_csr)
 
+    @classmethod
+    def open(cls, path) -> "TemporalAdjacency":
+        """Open a ``.tcsr`` artifact as mmap-backed orientations.
+
+        O(1) in the event count: arrays page in lazily as windows touch
+        them.  See :mod:`repro.graph.io` for the artifact format.
+        """
+        from repro.graph.io import open_adjacency
+
+        return open_adjacency(path)
+
     @property
     def nnz(self) -> int:
         return self.in_csr.nnz
@@ -300,8 +322,12 @@ class TemporalAdjacency:
         return WindowView(self, window, workspace=workspace)
 
     def memory_bytes(self) -> int:
-        """Total bytes of both orientations."""
+        """Total heap bytes of both orientations (mapped arrays excluded)."""
         return self.in_csr.memory_bytes() + self.out_csr.memory_bytes()
+
+    def mapped_bytes(self) -> int:
+        """Total file-mapped bytes of both orientations."""
+        return self.in_csr.mapped_bytes() + self.out_csr.mapped_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

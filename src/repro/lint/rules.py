@@ -127,7 +127,7 @@ class MmapEscapeRule(Rule):
         "`np.memmap(...)`/`.shared_view(...)` without an intervening "
         "`np.array(..., copy=True)` / `.copy()`."
     )
-    scopes = ("service/", "utils/", "parallel/", "runtime/")
+    scopes = ("service/", "utils/", "parallel/", "runtime/", "graph/io")
 
     #: call names that materialize a copy and therefore defuse the escape
     SAFE_CALLS = {"array", "ascontiguousarray", "copy", "deepcopy"}
@@ -403,7 +403,8 @@ class MissingDtypeRule(Rule):
     )
     scopes = (
         "pagerank/", "pagerank/backends/", "kernels/", "programs/",
-        "graph/temporal_csr", "benchmarks/bench_edge_compaction",
+        "graph/temporal_csr", "graph/io",
+        "benchmarks/bench_edge_compaction",
         "benchmarks/bench_backends",
     )
 

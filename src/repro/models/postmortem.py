@@ -30,7 +30,13 @@ from typing import Dict, List, Optional, Union
 from repro.errors import ValidationError
 from repro.events.event_set import TemporalEventSet
 from repro.events.windows import WindowSpec
-from repro.graph.multiwindow import MultiWindowGraph, MultiWindowPartition
+from repro.graph.multiwindow import (
+    LazyMultiWindowPartition,
+    MultiWindowGraph,
+    MultiWindowPartition,
+    build_compact_graph,
+)
+from repro.utils.arrays import is_mmap_backed
 from repro.models.base import RunResult, WindowResult
 from repro.pagerank.config import PagerankConfig
 from repro.programs.base import VertexProgram
@@ -91,6 +97,14 @@ class PostmortemOptions:
         Weight window edges by their event multiplicity
         (:mod:`repro.pagerank.weighted`); requires the SpMV kernel and
         the PageRank program.
+    materialize:
+        ``"eager"`` builds every multi-window graph up front (the
+        historic behaviour), ``"lazy"`` defers each graph until its
+        worker solves it (peak memory: one graph per concurrent worker;
+        requires the uniform partition), ``"auto"`` picks lazy exactly
+        when the event arrays are memory-mapped (a ``.tcsr`` artifact)
+        and the partition is uniform — the out-of-core configuration —
+        and eager otherwise.  Results are identical either way.
     """
 
     n_multiwindows: int = 6
@@ -101,6 +115,7 @@ class PostmortemOptions:
     n_threads: int = 4
     partition_method: str = "uniform"
     weighted: bool = False
+    materialize: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_multiwindows <= 0:
@@ -120,6 +135,16 @@ class PostmortemOptions:
         if self.weighted and self.kernel != "spmv":
             raise ValidationError(
                 "weighted PageRank requires kernel='spmv'"
+            )
+        if self.materialize not in ("auto", "eager", "lazy"):
+            raise ValidationError(
+                "materialize must be 'auto', 'eager' or 'lazy'"
+            )
+        if self.materialize == "lazy" and self.partition_method != "uniform":
+            raise ValidationError(
+                "materialize='lazy' requires partition_method='uniform' "
+                "(balanced partitions need event counts for every window "
+                "boundary up front)"
             )
 
 
@@ -161,12 +186,28 @@ class PostmortemDriver:
         self._partition: Optional[MultiWindowPartition] = None
 
     # ------------------------------------------------------------------
+    def _lazy_materialize(self) -> bool:
+        """Whether this run defers graph construction to solve time."""
+        if self.options.materialize == "lazy":
+            return True
+        if self.options.materialize == "eager":
+            return False
+        return (
+            self.options.partition_method == "uniform"
+            and is_mmap_backed(self.events.time)
+        )
+
     @property
     def partition(self) -> MultiWindowPartition:
         """The multi-window representation (built lazily, once)."""
         if self._partition is None:
             if self.options.partition_method == "uniform":
-                self._partition = MultiWindowPartition(
+                cls = (
+                    LazyMultiWindowPartition
+                    if self._lazy_materialize()
+                    else MultiWindowPartition
+                )
+                self._partition = cls(
                     self.events, self.spec, self.options.n_multiwindows
                 )
             else:
@@ -232,7 +273,39 @@ class PostmortemDriver:
             task_log.extend(tasks)
             result.work.merge(work)
 
-        if executor == "shared" and n_graphs > 1:
+        lazy = isinstance(partition, LazyMultiWindowPartition)
+        if executor == "shared" and n_graphs > 1 and lazy:
+            # publish the raw event columns (zero-copy when they are
+            # .tcsr-mapped) and ship only build recipes; each worker
+            # slices, compacts and solves its graph in-process
+            from repro.parallel.shared_arena import run_arena_tasks
+
+            with result.timings.phase("pagerank"):
+                task_results, stats = run_arena_tasks(
+                    {
+                        "src": self.events.src,
+                        "dst": self.events.dst,
+                        "time": self.events.time,
+                    },
+                    [partition.graph_payload(i) for i in range(n_graphs)],
+                    _shared_lazy_graph_worker,
+                    args=(
+                        self.config,
+                        self.options,
+                        self.events.n_vertices,
+                        store_values,
+                        self.program,
+                    ),
+                    n_workers=ctx.n_workers,
+                    value_sink=sink,
+                )
+            for task_result in task_results:
+                consume(task_result)
+                done += 1
+                if progress is not None:
+                    progress(done, n_graphs)
+            result.metadata["shared_arena"] = stats
+        elif executor == "shared" and n_graphs > 1:
             from repro.parallel.shared_arena import run_shared_tasks
 
             with result.timings.phase("pagerank"):
@@ -265,20 +338,40 @@ class PostmortemDriver:
             )
             with result.timings.phase("pagerank"):
                 with pool_cls(ctx.n_workers) as pool:
-                    futures = [
-                        pool.submit(
-                            solve_multiwindow_graph,
-                            g,
-                            i,
-                            self.config,
-                            self.options,
-                            self.events.n_vertices,
-                            store_values,
-                            sink,
-                            self.program,
-                        )
-                        for i, g in enumerate(partition)
-                    ]
+                    if lazy:
+                        # ship the recipe, not the graph: workers build
+                        # inside the pool, bounding live graphs at
+                        # n_workers (a lazy partition pickles by
+                        # artifact path, so process submission is cheap)
+                        futures = [
+                            pool.submit(
+                                _solve_lazy_task,
+                                partition,
+                                i,
+                                self.config,
+                                self.options,
+                                self.events.n_vertices,
+                                store_values,
+                                sink,
+                                self.program,
+                            )
+                            for i in range(n_graphs)
+                        ]
+                    else:
+                        futures = [
+                            pool.submit(
+                                solve_multiwindow_graph,
+                                g,
+                                i,
+                                self.config,
+                                self.options,
+                                self.events.n_vertices,
+                                store_values,
+                                sink,
+                                self.program,
+                            )
+                            for i, g in enumerate(partition)
+                        ]
                     for fut in futures:
                         consume(fut.result())
                         done += 1
@@ -304,6 +397,7 @@ class PostmortemDriver:
         )
         result.metadata["n_multiwindows"] = len(partition)
         result.metadata["replication_factor"] = partition.replication_factor
+        result.metadata["materialize"] = "lazy" if lazy else "eager"
         result.metadata["backend"] = self.config.backend
         result.metadata["program"] = self.program.name
         result.metadata["task_log"] = task_log
@@ -363,6 +457,70 @@ def _shared_graph_worker(
         n_global_vertices,
         store_values,
         sink,
+        program,
+    )
+
+
+def _shared_lazy_graph_worker(
+    view,
+    payload,
+    mw_index: int,
+    sink,
+    config: PagerankConfig,
+    options: PostmortemOptions,
+    n_global_vertices: int,
+    store_values: bool,
+    program: Optional[VertexProgram] = None,
+):
+    """Arena worker for the lazy ``"shared"`` path.
+
+    ``view`` holds the published event columns (file mappings when the
+    run came from a ``.tcsr`` artifact — zero bytes were copied);
+    ``payload`` is one :meth:`LazyMultiWindowPartition.graph_payload`
+    recipe.  The graph is built here, inside the worker, and dies with
+    the task — the parent never materializes it.
+    """
+    sub, first_window, lo, hi = payload
+    graph = build_compact_graph(
+        view.shared_view("src")[lo:hi],
+        view.shared_view("dst")[lo:hi],
+        view.shared_view("time")[lo:hi],
+        sub,
+        first_window,
+    )
+    return solve_multiwindow_graph(
+        graph,
+        mw_index,
+        config,
+        options,
+        n_global_vertices,
+        store_values,
+        sink,
+        program,
+    )
+
+
+def _solve_lazy_task(
+    partition: LazyMultiWindowPartition,
+    mw_index: int,
+    config: PagerankConfig,
+    options: PostmortemOptions,
+    n_global_vertices: int,
+    store_values: bool,
+    value_sink=None,
+    program: Optional[VertexProgram] = None,
+):
+    """Pool task for lazy thread/process execution: materialize one
+    multi-window graph inside the worker, solve it, drop it."""
+    graph = partition.graph_at(mw_index)
+    return solve_multiwindow_graph(
+        graph,
+        mw_index,
+        config,
+        options,
+        n_global_vertices,
+        store_values,
+        value_sink,
         program,
     )
 

@@ -47,11 +47,15 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.events.windows import WindowSpec
 from repro.graph.multiwindow import MultiWindowGraph
+from repro.utils.arrays import file_backed_descriptor
 
 __all__ = [
     "ArrayDesc",
     "ArenaHandle",
     "ArenaView",
+    "FileArrayDesc",
+    "MappedArenaHandle",
+    "MappedArenaView",
     "SharedArena",
     "SharedArenaRegistry",
     "SharedGraphHandle",
@@ -161,8 +165,9 @@ class ArenaView:
             )
             arr.flags.writeable = False
             self._views[key] = arr
-        # lint: disable=mmap-escape — the accessor itself is the one
-        # sanctioned zero-copy boundary (documented contract above)
+        # the accessor itself is the one sanctioned zero-copy boundary
+        # (documented contract above)
+        # lint: disable=mmap-escape
         return arr
 
     def arrays(self, prefix: str = "") -> Dict[str, np.ndarray]:
@@ -189,11 +194,164 @@ class ArenaView:
             _LOG.warning("arena %s close deferred: %s", self.segment, exc)
 
 
-def attach_arena(handle: ArenaHandle) -> ArenaView:
-    """Attach to a published segment, reusing this process's mapping."""
+@dataclass(frozen=True)
+class FileArrayDesc:
+    """Location of one array inside a memory-mapped *file* (picklable).
+
+    The out-of-core sibling of :class:`ArrayDesc`: instead of a shm
+    segment offset it carries ``(path, byte offset)`` into an on-disk
+    artifact (e.g. a ``.tcsr``), recovered by
+    :func:`repro.utils.arrays.file_backed_descriptor`.
+    """
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    path: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        n = np.dtype(self.dtype).itemsize
+        for dim in self.shape:
+            n *= dim
+        return n
+
+
+@dataclass(frozen=True)
+class MappedArenaHandle:
+    """A zero-copy arena handle over file-backed arrays (picklable).
+
+    No shared-memory segment exists: every worker ``mmap``\\ s the same
+    file regions, so the kernel page cache is the shared medium and
+    publication costs nothing regardless of array size.  Nothing to
+    unlink either — reclamation is closing the per-process mappings.
+    """
+
+    segment: str
+    manifest: Tuple[FileArrayDesc, ...]
+
+    def attach(self) -> "MappedArenaView":
+        return attach_arena(self)
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(d.key for d in self.manifest)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(d.nbytes for d in self.manifest)
+
+
+class MappedArenaView:
+    """Per-process read-only mappings of a :class:`MappedArenaHandle`.
+
+    Same access interface as :class:`ArenaView` (``shared_view`` /
+    ``arrays`` / ``close``), so arena workers are agnostic to whether
+    their arrays live in ``/dev/shm`` or in an on-disk artifact.
+    """
+
+    def __init__(self, handle: MappedArenaHandle) -> None:
+        self._descs: Dict[str, FileArrayDesc] = {
+            d.key: d for d in handle.manifest
+        }
+        self._views: Dict[str, np.ndarray] = {}
+        self.segment = handle.segment
+
+    def shared_view(self, key: str) -> np.ndarray:
+        """A read-only view mapping the array's file region (cached)."""
+        arr = self._views.get(key)
+        if arr is None:
+            desc = self._descs.get(key)
+            if desc is None:
+                raise ValidationError(
+                    f"mapped arena {self.segment!r} has no array {key!r}"
+                )
+            if desc.nbytes == 0:
+                arr = np.empty(desc.shape, dtype=np.dtype(desc.dtype))
+                arr.flags.writeable = False
+            else:
+                arr = np.memmap(
+                    desc.path,
+                    dtype=np.dtype(desc.dtype),
+                    mode="r",
+                    offset=desc.offset,
+                    shape=desc.shape,
+                )
+        self._views[key] = arr
+        # the accessor itself is the one sanctioned zero-copy boundary
+        # (same contract as ArenaView)
+        # lint: disable=mmap-escape
+        return arr
+
+    def arrays(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """All views whose key starts with ``prefix``, keys de-prefixed."""
+        return {
+            d.key[len(prefix):]: self.shared_view(d.key)
+            for d in self._descs.values()
+            if d.key.startswith(prefix)
+        }
+
+    def close(self) -> None:
+        """Drop the views and close this process's file mappings."""
+        views = dict(self._views)
+        self._views.clear()
+        _ATTACH_CACHE.pop(self.segment, None)
+        stale = [k for k, g in _GRAPH_CACHE.items() if k[0] == self.segment]
+        for k in stale:
+            del _GRAPH_CACHE[k]
+        for arr in views.values():
+            mm = getattr(arr, "_mmap", None)
+            if mm is not None:
+                try:
+                    mm.close()
+                except BufferError as exc:
+                    # a caller still holds a view; the read-only file
+                    # mapping dies with that reference — nothing leaks
+                    _LOG.warning(
+                        "mapped arena %s close deferred: %s",
+                        self.segment, exc,
+                    )
+
+
+def mapped_manifest(
+    arrays: Dict[str, np.ndarray]
+) -> Optional[Tuple[FileArrayDesc, ...]]:
+    """File descriptors for ``arrays`` when *every* one is file-backed.
+
+    Returns ``None`` (publish must copy into shm) as soon as any array
+    is a plain heap array or a non-contiguous view.
+    """
+    descs: List[FileArrayDesc] = []
+    for key, arr in arrays.items():
+        located = file_backed_descriptor(arr)
+        if located is None:
+            return None
+        path, offset = located
+        descs.append(
+            FileArrayDesc(
+                key=key,
+                dtype=arr.dtype.str,
+                shape=tuple(arr.shape),
+                path=path,
+                offset=offset,
+            )
+        )
+    return tuple(descs) if descs else None
+
+
+def attach_arena(handle) -> "ArenaView | MappedArenaView":
+    """Attach to a published arena, reusing this process's mapping.
+
+    Dispatches on the handle type: shm-backed :class:`ArenaHandle` or
+    file-backed :class:`MappedArenaHandle`.
+    """
     view = _ATTACH_CACHE.get(handle.segment)
     if view is None:
-        view = ArenaView(handle)
+        if isinstance(handle, MappedArenaHandle):
+            view = MappedArenaView(handle)
+        else:
+            view = ArenaView(handle)
         _ATTACH_CACHE[handle.segment] = view
     return view
 
@@ -318,14 +476,32 @@ class SharedArenaRegistry:
 
     def __init__(self) -> None:
         self._arenas: List[SharedArena] = []
+        self._mapped: List[MappedArenaHandle] = []
         self._closed = False
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
-    def publish(self, arrays: Dict[str, np.ndarray]) -> ArenaHandle:
-        """Pack ``arrays`` into a fresh segment; returns its handle."""
+    def publish(self, arrays: Dict[str, np.ndarray]):
+        """Publish ``arrays``; returns a picklable arena handle.
+
+        When every array is already file-backed (mmap views of a
+        ``.tcsr`` artifact), no shared-memory segment is created at all —
+        the returned :class:`MappedArenaHandle` points workers at the
+        same file regions, zero bytes copied.  Otherwise the arrays are
+        packed into a fresh shm segment as before.
+        """
         if self._closed:
             raise ValidationError("registry is closed")
+        manifest = mapped_manifest(arrays)
+        if manifest is not None:
+            digest = uuid.uuid5(
+                uuid.NAMESPACE_URL, repr(manifest)
+            ).hex[:12]
+            handle = MappedArenaHandle(
+                segment=f"mapped_{digest}", manifest=manifest
+            )
+            self._mapped.append(handle)
+            return handle
         arena = SharedArena(arrays)
         self._arenas.append(arena)
         return arena.handle()
@@ -355,7 +531,13 @@ class SharedArenaRegistry:
 
     @property
     def total_bytes(self) -> int:
+        """Bytes *copied* into shm segments (mapped arenas cost zero)."""
         return sum(a.nbytes for a in self._arenas)
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes published as file mappings without copying."""
+        return sum(h.nbytes for h in self._mapped)
 
     @property
     def segments(self) -> List[str]:
@@ -368,6 +550,10 @@ class SharedArenaRegistry:
         self._closed = True
         for arena in self._arenas:
             arena.destroy(unlink=unlink)
+        for handle in self._mapped:
+            view = _ATTACH_CACHE.get(handle.segment)
+            if view is not None:
+                view.close()
         atexit.unregister(self.close)
 
     def __enter__(self) -> "SharedArenaRegistry":
@@ -583,6 +769,7 @@ def run_arena_tasks(
         handle = registry.publish(arrays)
         stats["publish_seconds"] = time.perf_counter() - t0
         stats["arena_bytes"] = registry.total_bytes
+        stats["mapped_bytes"] = registry.mapped_bytes
         stats["segments"] = list(registry.segments)
 
         task_payloads = [(handle, p, i) for i, p in enumerate(payloads)]

@@ -328,6 +328,10 @@ class RankStore:
             index = json.loads(f.read(index_len).decode())
         self.n_windows = int(n_windows)
         self.n_vertices = int(n_vertices)
+        self._version = int(version)
+        self._matrix_offset = int(matrix_offset)
+        self._index_offset = int(index_offset)
+        self._index_len = int(index_len)
         self.model: str = index.get("model", "unknown")
         # stores written before the vertex-program refactor held only
         # PageRank vectors, so that is the safe default
@@ -428,6 +432,21 @@ class RankStore:
         if conv and all(v is not None for v in conv):
             info["all converged"] = bool(all(conv))
         return info
+
+    def header_info(self) -> Dict[str, object]:
+        """The raw on-disk preamble, decoded — the header-dump half of
+        ``inspect``, shared in presentation with ``.tcsr`` artifacts."""
+        return {
+            "magic": MAGIC.decode(),
+            "version": self._version,
+            "preamble bytes": PREAMBLE_SIZE,
+            "dtype": self.dtype.name,
+            "n_windows": self.n_windows,
+            "n_vertices": self.n_vertices,
+            "matrix offset": self._matrix_offset,
+            "index offset": self._index_offset,
+            "index bytes": self._index_len,
+        }
 
     def close(self) -> None:
         """Release the memory map.

@@ -1,0 +1,105 @@
+"""Array provenance helpers: heap vs memory-mapped backing.
+
+Out-of-core artifacts (``.tcsr``, ``.rankstore``) hand the library arrays
+that *look* like any other ndarray but are views into file-backed pages.
+Two accounting questions follow:
+
+* **honesty** — ``memory_bytes()`` reports must not count mapped pages as
+  allocated heap (a 10⁷-event artifact "costs" almost nothing resident);
+* **zero-copy publication** — the shared arena can skip copying an array
+  into ``/dev/shm`` entirely when every worker can just map the same file
+  region, which requires recovering ``(path, byte offset)`` from a view.
+
+Both walk the ``.base`` chain: numpy views keep a reference to the array
+(or ``mmap.mmap`` buffer) they alias, so the root's identity survives
+slicing, ``np.asarray`` and dtype-preserving ``ascontiguousarray``.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_mmap_backed",
+    "file_backed_descriptor",
+    "heap_and_mapped_bytes",
+]
+
+
+def _memmap_root(arr) -> Optional[np.memmap]:
+    """The ``np.memmap`` an array ultimately views, if any.
+
+    Walks to the *deepest* memmap in the base chain: slicing a memmap
+    yields another ``np.memmap`` instance whose ``offset``/``filename``
+    attributes are inherited verbatim (stale for the slice), so only the
+    root mapping — the one numpy created against the file — pairs a
+    trustworthy ``offset`` with its data pointer.
+    """
+    node, root = arr, None
+    while isinstance(node, np.ndarray):
+        if isinstance(node, np.memmap):
+            root = node
+        node = node.base
+    return root
+
+
+def is_mmap_backed(arr) -> bool:
+    """Whether ``arr`` aliases memory-mapped (file-backed) pages.
+
+    True for ``np.memmap`` instances, any view whose base chain reaches
+    one, and ``np.frombuffer`` views over a raw ``mmap.mmap`` object.
+    """
+    node = arr
+    while node is not None:
+        if isinstance(node, (np.memmap, mmap.mmap)):
+            return True
+        node = getattr(node, "base", None)
+    return False
+
+
+def file_backed_descriptor(arr) -> Optional[Tuple[str, int]]:
+    """``(path, file_offset)`` of a contiguous file-backed array view.
+
+    Returns ``None`` when the array does not alias an ``np.memmap`` with
+    a known filename, or is not C-contiguous (a strided view has no
+    single file extent).  The offset accounts for slicing: it is the
+    root memmap's file offset plus the view's byte displacement.
+    """
+    if not isinstance(arr, np.ndarray) or not arr.flags["C_CONTIGUOUS"]:
+        return None
+    root = _memmap_root(arr)
+    if root is None:
+        return None
+    filename = getattr(root, "filename", None)
+    if filename is None:
+        return None
+    delta = (
+        arr.__array_interface__["data"][0]
+        - root.__array_interface__["data"][0]
+    )
+    if delta < 0 or delta + arr.nbytes > root.nbytes:
+        return None
+    return os.fspath(filename), int(root.offset) + int(delta)
+
+
+def heap_and_mapped_bytes(arrays: Iterable) -> Tuple[int, int]:
+    """Split ``sum(a.nbytes)`` into (heap-allocated, memory-mapped).
+
+    Mapped arrays occupy address space, not resident heap — resident cost
+    is whatever the kernel currently caches and is reclaimable under
+    pressure, so memory reports must keep the two apart.
+    """
+    heap = 0
+    mapped = 0
+    for a in arrays:
+        if a is None:
+            continue
+        if is_mmap_backed(a):
+            mapped += a.nbytes
+        else:
+            heap += a.nbytes
+    return heap, mapped

@@ -557,8 +557,11 @@ class TestDegradation:
             for r in replicas
         ]
         assert len(procs) == 4
+        # the store is file-backed, so shard publication is zero-copy
+        # mapped handles: no shm segment ever exists to leak
         segments = list(cluster._registry.segments)
-        assert len(segments) == 2
+        assert len(segments) == 0
+        assert cluster._registry.mapped_bytes > 0
         assert cluster.top_k(0, 2)["ok"]
         cluster.shutdown()
         cluster.shutdown()  # idempotent

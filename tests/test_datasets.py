@@ -123,7 +123,8 @@ class TestGenerateEvents:
 class TestProfiles:
     def test_all_seven_present(self):
         names = list_profiles()
-        assert len(names) == 7
+        # seven paper datasets, each with an out-of-core -xl variant
+        assert len(names) == 14
         for expected in (
             "ca-cit-HepTh",
             "stackoverflow",
@@ -134,6 +135,7 @@ class TestProfiles:
             "wiki-talk",
         ):
             assert expected in names
+            assert f"{expected}-xl" in names
 
     def test_lookup_case_insensitive(self):
         assert get_profile("WIKI-TALK").name == "wiki-talk"
@@ -193,7 +195,7 @@ class TestRegistry:
 
     def test_names_and_clear(self):
         reg = DatasetRegistry()
-        assert len(reg.names()) == 7
+        assert len(reg.names()) == 14
         reg.get("askubuntu", scale=0.05)
         reg.clear()
         assert reg._memory == {}

@@ -1,0 +1,487 @@
+"""Tests for the out-of-core ``.tcsr`` artifact (``repro.graph.io``).
+
+Covers the acceptance properties of the memory-mapped input path:
+
+* **round-trip parity** — ``from_events → write → open`` equals the
+  in-RAM adjacency array-for-array, both orientations, including empty
+  windows, dangling-heavy graphs, and duplicate-heavy (weighted) logs;
+* **chunked construction** — the builder's bounded-memory merge of
+  unsorted chunks is bitwise-identical to a single in-RAM sort;
+* **rejection** — truncated, corrupted, and unfinalized artifacts raise
+  ``ValidationError`` instead of returning garbage;
+* **memory honesty** — mapped arrays report as mapped, not heap;
+* **lazy materialization** — postmortem runs from a mapped event set are
+  bitwise-identical to the eager in-RAM path under every executor, and
+  the shared arena publishes mapped partitions without copying;
+* **CLI** — ``generate --out x.tcsr``, ``run --graph``, ``inspect``.
+"""
+
+import io
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.events import TemporalEventSet, WindowSpec
+from repro.graph.io import (
+    MAGIC,
+    PREAMBLE_SIZE,
+    MappedEventSet,
+    TcsrFile,
+    TemporalCSRBuilder,
+    build_tcsr,
+    is_tcsr,
+    open_adjacency,
+    open_events,
+    write_tcsr,
+)
+from repro.graph.multiwindow import (
+    LazyMultiWindowPartition,
+    MultiWindowPartition,
+)
+from repro.graph.temporal_csr import TemporalAdjacency
+from repro.models import PostmortemDriver, PostmortemOptions
+from repro.pagerank import PagerankConfig, window_edge_weights
+from repro.utils.arrays import is_mmap_backed
+from tests.conftest import random_events
+
+
+CSR_ARRAYS = ("indptr", "col", "time", "group_start")
+
+
+def assert_adjacency_equal(mapped: TemporalAdjacency, ram: TemporalAdjacency):
+    assert mapped.n_vertices == ram.n_vertices
+    for orient in ("in_csr", "out_csr"):
+        a, b = getattr(mapped, orient), getattr(ram, orient)
+        for name in CSR_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(a, name), getattr(b, name),
+                err_msg=f"{orient}.{name}",
+            )
+
+
+def roundtrip(tmp_path, events, **kw):
+    path = str(tmp_path / "events.tcsr")
+    write_tcsr(events, path, **kw)
+    return path
+
+
+# ----------------------------------------------------------------------
+# round-trip parity
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_matches_in_ram_adjacency(self, tmp_path):
+        events = random_events(n_vertices=50, n_events=2_000, seed=3)
+        path = roundtrip(tmp_path, events)
+        adj = open_adjacency(path)
+        assert_adjacency_equal(adj, TemporalAdjacency.from_events(events))
+
+    def test_event_log_matches_stable_sort(self, tmp_path):
+        events = random_events(n_vertices=30, n_events=800, seed=5)
+        path = roundtrip(tmp_path, events)
+        mapped = open_events(path)
+        np.testing.assert_array_equal(mapped.src, events.src)
+        np.testing.assert_array_equal(mapped.dst, events.dst)
+        np.testing.assert_array_equal(mapped.time, events.time)
+        mapped.close()
+
+    def test_empty_event_set(self, tmp_path):
+        events = TemporalEventSet(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64), n_vertices=7,
+        )
+        path = roundtrip(tmp_path, events)
+        adj = open_adjacency(path)
+        assert_adjacency_equal(adj, TemporalAdjacency.from_events(events))
+        assert adj.n_vertices == 7
+
+    def test_dangling_heavy(self, tmp_path):
+        # 990 of 1000 vertices have no edges at all (isolated), sources
+        # concentrated on a handful — the indptr runs of equal offsets
+        # that the scatter pass must reproduce exactly
+        rng = np.random.default_rng(11)
+        src = rng.integers(0, 5, 600)
+        dst = rng.integers(5, 10, 600)
+        time = rng.integers(0, 10_000, 600)
+        events = TemporalEventSet(src, dst, time, n_vertices=1_000)
+        path = roundtrip(tmp_path, events)
+        adj = open_adjacency(path)
+        assert_adjacency_equal(adj, TemporalAdjacency.from_events(events))
+
+    def test_weighted_duplicate_heavy(self, tmp_path):
+        # many repeated (u, v) pairs with tied timestamps: the weighted
+        # kernel's per-group multiplicities must come out identical from
+        # the mapped structure
+        rng = np.random.default_rng(13)
+        src = rng.integers(0, 8, 2_000)
+        dst = rng.integers(0, 8, 2_000)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        time = rng.integers(0, 50, src.size)  # heavy ties
+        events = TemporalEventSet(src, dst, time, n_vertices=8)
+        path = roundtrip(tmp_path, events)
+        ram = TemporalAdjacency.from_events(events)
+        adj = open_adjacency(path)
+        assert_adjacency_equal(adj, ram)
+        d0, w0 = window_edge_weights(ram.in_csr, 10, 30)
+        d1, w1 = window_edge_weights(adj.in_csr, 10, 30)
+        np.testing.assert_array_equal(d0, d1)
+        np.testing.assert_array_equal(w0, w1)
+
+    def test_empty_windows(self, tmp_path):
+        # a long quiet gap in the middle of the span: window views over
+        # the gap must be empty from both representations
+        src = np.array([0, 1, 2, 3] * 50, dtype=np.int64)
+        dst = np.array([1, 2, 3, 0] * 50, dtype=np.int64)
+        time = np.concatenate(
+            [np.arange(100, dtype=np.int64),
+             np.arange(100, dtype=np.int64) + 100_000]
+        )
+        events = TemporalEventSet(src, dst, time, n_vertices=4)
+        path = roundtrip(tmp_path, events)
+        ram = TemporalAdjacency.from_events(events)
+        adj = open_adjacency(path)
+        assert_adjacency_equal(adj, ram)
+        for lo, hi in ((200, 300), (50_000, 60_000), (0, 50)):
+            np.testing.assert_array_equal(
+                adj.in_csr.active_mask(lo, hi),
+                ram.in_csr.active_mask(lo, hi),
+            )
+
+    def test_temporal_adjacency_open_classmethod(self, tmp_path):
+        events = random_events(n_vertices=20, n_events=300, seed=7)
+        path = roundtrip(tmp_path, events)
+        adj = TemporalAdjacency.open(path)
+        assert_adjacency_equal(adj, TemporalAdjacency.from_events(events))
+        assert is_mmap_backed(adj.in_csr.col)
+
+
+# ----------------------------------------------------------------------
+# chunked construction
+# ----------------------------------------------------------------------
+class TestChunkedBuilder:
+    def test_unsorted_chunks_match_global_sort(self, tmp_path):
+        rng = np.random.default_rng(17)
+        chunks = []
+        for _ in range(7):
+            n = int(rng.integers(50, 200))
+            chunks.append(
+                (rng.integers(0, 40, n), rng.integers(0, 40, n),
+                 rng.integers(0, 500, n))  # heavy ties across chunks
+            )
+        src = np.concatenate([c[0] for c in chunks])
+        dst = np.concatenate([c[1] for c in chunks])
+        time = np.concatenate([c[2] for c in chunks])
+        events = TemporalEventSet(src, dst, time, n_vertices=40)
+
+        path = str(tmp_path / "chunked.tcsr")
+        build_tcsr(iter(chunks), path, 40, chunk_events=128, n_workers=2)
+        adj = open_adjacency(path)
+        assert_adjacency_equal(adj, TemporalAdjacency.from_events(events))
+
+    def test_add_events_validates(self, tmp_path):
+        path = str(tmp_path / "bad.tcsr")
+        with pytest.raises(ValidationError):
+            with TemporalCSRBuilder(path, n_vertices=4) as b:
+                b.add_events(
+                    np.array([0, 9], dtype=np.int64),  # 9 out of range
+                    np.array([1, 2], dtype=np.int64),
+                    np.array([0, 1], dtype=np.int64),
+                )
+        assert not os.path.exists(path)  # aborted build leaves nothing
+
+    def test_abort_cleans_up(self, tmp_path):
+        path = str(tmp_path / "aborted.tcsr")
+        b = TemporalCSRBuilder(path, n_vertices=4)
+        b.add_events(
+            np.array([0], dtype=np.int64), np.array([1], dtype=np.int64),
+            np.array([5], dtype=np.int64),
+        )
+        b.abort()
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".spill")
+
+    def test_spill_file_removed_after_finalize(self, tmp_path):
+        events = random_events(n_vertices=10, n_events=100, seed=23)
+        path = roundtrip(tmp_path, events)
+        assert not os.path.exists(path + ".spill")
+
+
+# ----------------------------------------------------------------------
+# mapped event set
+# ----------------------------------------------------------------------
+class TestMappedEventSet:
+    def test_time_slice_parity(self, tmp_path):
+        events = random_events(n_vertices=30, n_events=3_000, seed=29)
+        path = roundtrip(tmp_path, events, time_index_stride=64)
+        mapped = open_events(path)
+        probes = [(-1, 0), (0, 0), (100, 5_000), (9_999, 10_001),
+                  (4_000, 4_000), (20_000, 30_000)]
+        for lo, hi in probes:
+            assert mapped.time_slice_indices(lo, hi) == \
+                events.time_slice_indices(lo, hi), (lo, hi)
+        mapped.close()
+
+    def test_pickle_reopens_by_path(self, tmp_path):
+        events = random_events(n_vertices=15, n_events=200, seed=31)
+        path = roundtrip(tmp_path, events)
+        mapped = open_events(path)
+        clone = pickle.loads(pickle.dumps(mapped))
+        assert isinstance(clone, MappedEventSet)
+        np.testing.assert_array_equal(clone.time, mapped.time)
+        assert len(pickle.dumps(mapped)) < 1_000  # path, not arrays
+
+    def test_is_mmap_backed(self, tmp_path):
+        events = random_events(n_vertices=15, n_events=200, seed=37)
+        mapped = open_events(roundtrip(tmp_path, events))
+        assert is_mmap_backed(mapped.time)
+        assert not is_mmap_backed(events.time)
+
+
+# ----------------------------------------------------------------------
+# rejection of damaged artifacts
+# ----------------------------------------------------------------------
+class TestRejection:
+    def _valid(self, tmp_path):
+        events = random_events(n_vertices=10, n_events=150, seed=41)
+        return roundtrip(tmp_path, events)
+
+    def test_too_short(self, tmp_path):
+        path = str(tmp_path / "short.tcsr")
+        with open(path, "wb") as f:
+            f.write(MAGIC[:4])
+        with pytest.raises(ValidationError, match="too short"):
+            TcsrFile(path)
+        assert not is_tcsr(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[:8] = b"NOTATCSR"
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ValidationError, match="magic"):
+            TcsrFile(path)
+        assert not is_tcsr(path)
+
+    def test_truncated_body(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(ValidationError):
+            TcsrFile(path)
+
+    def test_unfinalized(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[12] = 0  # clear the flags word (little-endian bit 0)
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ValidationError, match="finalized"):
+            TcsrFile(path)
+
+    def test_bad_version(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[8] = 99
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ValidationError, match="version"):
+            TcsrFile(path)
+
+    def test_not_a_file(self, tmp_path):
+        assert not is_tcsr(str(tmp_path / "missing.tcsr"))
+
+
+# ----------------------------------------------------------------------
+# memory honesty
+# ----------------------------------------------------------------------
+class TestMemoryHonesty:
+    def test_mapped_adjacency_reports_zero_heap(self, tmp_path):
+        events = random_events(n_vertices=25, n_events=500, seed=43)
+        path = roundtrip(tmp_path, events)
+        ram = TemporalAdjacency.from_events(events)
+        adj = open_adjacency(path)
+        assert adj.memory_bytes() == 0
+        assert adj.mapped_bytes() == ram.memory_bytes()
+        assert ram.mapped_bytes() == 0
+
+    def test_memory_report_splits_residency(self, tmp_path):
+        events = random_events(n_vertices=25, n_events=2_000, seed=47)
+        path = roundtrip(tmp_path, events)
+        spec = WindowSpec.covering(events, delta=2_000, sw=500)
+        from repro.analysis import memory_report
+
+        eager = memory_report(MultiWindowPartition(events, spec, 3))
+        assert not eager.lazy
+        assert eager.total_heap_bytes > 0
+        assert eager.raw_event_mapped_bytes == 0
+
+        mapped = open_events(path)
+        lazy = memory_report(LazyMultiWindowPartition(mapped, spec, 3))
+        assert lazy.lazy
+        assert lazy.total_heap_bytes == 0
+        assert lazy.peak_transient_bytes > 0
+        assert lazy.raw_event_mapped_bytes == 3 * 8 * len(events)
+        mapped.close()
+
+
+# ----------------------------------------------------------------------
+# lazy materialization parity
+# ----------------------------------------------------------------------
+class TestLazyPostmortemParity:
+    @pytest.fixture
+    def setting(self, tmp_path):
+        events = random_events(n_vertices=40, n_events=1_500, seed=53)
+        path = roundtrip(tmp_path, events)
+        spec = WindowSpec.covering(events, delta=2_500, sw=700)
+        cfg = PagerankConfig(tolerance=1e-10, max_iterations=200)
+        return events, path, spec, cfg
+
+    def _run(self, events, spec, cfg, executor="serial", **opt_kw):
+        opts = PostmortemOptions(
+            n_multiwindows=3, executor=executor, n_threads=2, **opt_kw
+        )
+        return PostmortemDriver(events, spec, cfg, opts).run()
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "shared"])
+    def test_bitwise_parity_vs_eager(self, setting, executor):
+        events, path, spec, cfg = setting
+        baseline = self._run(events, spec, cfg)
+        assert baseline.metadata["materialize"] == "eager"
+        mapped = open_events(path)
+        run = self._run(mapped, spec, cfg, executor=executor)
+        assert run.metadata["materialize"] == "lazy"
+        for w0, w1 in zip(baseline.windows, run.windows):
+            np.testing.assert_array_equal(w0.values, w1.values)
+            assert w0.iterations == w1.iterations
+        mapped.close()
+
+    def test_forced_modes(self, setting):
+        events, path, spec, cfg = setting
+        eager_on_mapped = None
+        mapped = open_events(path)
+        eager_on_mapped = self._run(
+            mapped, spec, cfg, materialize="eager"
+        )
+        assert eager_on_mapped.metadata["materialize"] == "eager"
+        lazy_on_heap = self._run(events, spec, cfg, materialize="lazy")
+        assert lazy_on_heap.metadata["materialize"] == "lazy"
+        for w0, w1 in zip(eager_on_mapped.windows, lazy_on_heap.windows):
+            np.testing.assert_array_equal(w0.values, w1.values)
+        mapped.close()
+
+    def test_lazy_rejects_nonuniform(self):
+        with pytest.raises(ValidationError, match="uniform"):
+            PostmortemOptions(materialize="lazy", partition_method="greedy")
+        with pytest.raises(ValidationError, match="materialize"):
+            PostmortemOptions(materialize="sometimes")
+
+
+# ----------------------------------------------------------------------
+# zero-copy shared publication
+# ----------------------------------------------------------------------
+class TestSharedZeroCopy:
+    def test_mapped_arrays_publish_as_handles(self, tmp_path):
+        from repro.parallel.shared_arena import (
+            MappedArenaHandle,
+            SharedArenaRegistry,
+            attach_arena,
+        )
+
+        events = random_events(n_vertices=20, n_events=400, seed=59)
+        mapped = open_events(roundtrip(tmp_path, events))
+        registry = SharedArenaRegistry()
+        try:
+            handle = registry.publish(
+                {"src": mapped.src, "dst": mapped.dst, "time": mapped.time}
+            )
+            assert isinstance(handle, MappedArenaHandle)
+            assert registry.total_bytes == 0  # no shm copied
+            assert registry.mapped_bytes == 3 * mapped.time.nbytes
+            view = attach_arena(handle)
+            np.testing.assert_array_equal(
+                view.shared_view("time"), mapped.time
+            )
+            assert len(pickle.dumps(handle)) < 2_000
+        finally:
+            registry.close()
+            mapped.close()
+
+    def test_sliced_memmap_publishes_with_correct_offset(self, tmp_path):
+        """Slicing a memmap yields another memmap whose inherited
+        ``offset`` attribute is stale — the descriptor must locate the
+        slice by data pointer against the root mapping (the shard
+        coordinator publishes exactly such row slices)."""
+        from repro.parallel.shared_arena import (
+            MappedArenaHandle,
+            SharedArenaRegistry,
+            attach_arena,
+        )
+
+        events = random_events(n_vertices=20, n_events=400, seed=61)
+        mapped = open_events(roundtrip(tmp_path, events))
+        registry = SharedArenaRegistry()
+        try:
+            sliced = np.ascontiguousarray(mapped.time[100:300])
+            handle = registry.publish({"t": sliced})
+            assert isinstance(handle, MappedArenaHandle)
+            view = attach_arena(handle)
+            np.testing.assert_array_equal(
+                view.shared_view("t"), np.asarray(mapped.time[100:300])
+            )
+        finally:
+            registry.close()
+            mapped.close()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_generate_run_inspect_tcsr(self, tmp_path):
+        art = str(tmp_path / "ab.tcsr")
+        out = io.StringIO()
+        assert main(
+            ["generate", "askubuntu", "--scale", "0.05", "--out", art],
+            out=out,
+        ) == 0
+        assert "wrote" in out.getvalue() and is_tcsr(art)
+
+        out = io.StringIO()
+        assert main(["inspect", art], out=out) == 0
+        dump = out.getvalue()
+        assert "tcsr v1" in dump and "TCSRART1" in dump
+        assert "in_indptr" in dump and "time-index" in dump
+
+        out = io.StringIO()
+        assert main(
+            ["run", "--graph", art, "--delta-days", "90", "--sw",
+             "172800", "--max-windows", "6"],
+            out=out,
+        ) == 0
+        assert "postmortem" in out.getvalue()
+
+    def test_run_requires_exactly_one_input(self, tmp_path, capsys):
+        art = str(tmp_path / "x.tcsr")
+        main(["generate", "askubuntu", "--scale", "0.05", "--out", art])
+        assert main(
+            ["run", "--delta-days", "90", "--sw", "172800"], out=io.StringIO()
+        ) == 1
+        assert main(
+            ["run", art, "--graph", art, "--delta-days", "90",
+             "--sw", "172800"],
+            out=io.StringIO(),
+        ) == 1
+
+    def test_positional_events_sniffs_tcsr(self, tmp_path):
+        art = str(tmp_path / "x.tcsr")
+        main(["generate", "askubuntu", "--scale", "0.05", "--out", art])
+        out = io.StringIO()
+        assert main(["info", art], out=out) == 0
+        assert "events" in out.getvalue()
+
+    def test_xl_profile_listed(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        assert "askubuntu-xl" in out.getvalue()

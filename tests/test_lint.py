@@ -651,6 +651,17 @@ class TestRepositoryIsClean:
             }
             assert {"missing-dtype", "csr-python-loop"} <= applicable, path
 
+    def test_scopes_cover_the_out_of_core_artifact(self):
+        # graph/io hands out raw np.memmap views (the zero-copy contract
+        # mmap-escape polices) and allocates the builder's scratch arrays
+        # in the hottest construction passes (dtype drift there doubles
+        # spill traffic), so both rules must reach it — and csr-python-loop
+        # already covers it via graph/
+        path = "src/repro/graph/io.py"
+        applicable = {r.name for r in ALL_RULES if r.applies_to(path)}
+        assert {"mmap-escape", "missing-dtype",
+                "csr-python-loop"} <= applicable
+
     def test_scopes_cover_the_program_layer(self):
         # the vertex programs drive the hottest solve chains in the
         # tree (katz propagation, kcore peeling), so the dtype and
